@@ -1,0 +1,66 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+The heavy lifting — scenario construction, executor invocation, metric
+reduction — lives in :mod:`repro.experiments` so that the same sweeps can be
+reproduced outside pytest (``examples/reproduce_figures.py`` and
+``python -m repro``).  This module re-exports those helpers for the benchmark
+modules and adds the pytest-benchmark specific plumbing.
+
+All benchmarks attach their measured series to ``benchmark.extra_info`` so
+that ``pytest benchmarks/ --benchmark-only`` output doubles as the data
+behind the reproduced figures recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    EXECUTOR_NAMES,
+    ExecutorRun,
+    dense_scenario,
+    ec_scenario,
+    greedy_plan,
+    lr_scenario,
+    optimize,
+    run_executor,
+    tx_scenario,
+)
+
+__all__ = [
+    "ExecutorRun",
+    "EXECUTOR_NAMES",
+    "PAPER_BENEFITS",
+    "paper_benefit",
+    "dense_scenario",
+    "lr_scenario",
+    "tx_scenario",
+    "ec_scenario",
+    "optimize",
+    "greedy_plan",
+    "run_executor",
+    "record_series",
+]
+
+
+#: Vertex weights of the Sharon graph in Figure 4 (the paper's running
+#: example), keyed by the shared pattern's event types.  Used by the ablation
+#: benchmarks to reproduce the numbers of Examples 7-12 exactly.
+PAPER_BENEFITS: dict[tuple[str, ...], float] = {
+    ("OakSt", "MainSt"): 25.0,             # p1
+    ("ParkAve", "OakSt"): 9.0,             # p2
+    ("ParkAve", "OakSt", "MainSt"): 12.0,  # p3
+    ("MainSt", "WestSt"): 15.0,            # p4
+    ("OakSt", "MainSt", "WestSt"): 20.0,   # p5
+    ("MainSt", "StateSt"): 8.0,            # p6
+    ("ElmSt", "ParkAve"): 18.0,            # p7
+}
+
+
+def paper_benefit(candidate) -> float:
+    """Benefit override reproducing the vertex weights of Figure 4."""
+    return PAPER_BENEFITS.get(candidate.pattern.event_types, 0.0)
+
+
+def record_series(benchmark, **series) -> None:
+    """Attach a reproduced figure series to the pytest-benchmark record."""
+    for key, value in series.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,83 @@
+"""Ablation: sharing-conflict resolution (graph expansion, Section 7.1).
+
+The expansion rewrites each conflicted candidate into options over query
+subsets, opening sharing opportunities the original graph excludes.  This
+ablation measures, on the paper's running example and on a generated
+workload:
+
+* how many vertices the expansion adds;
+* the optimal plan score with and without expansion (expansion can only
+  improve it, never hurt);
+* the extra optimization latency the expansion costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import SharonOptimizer
+from repro.datasets import traffic_workload
+from repro.utils import RateCatalog
+
+from .harness import ec_scenario, paper_benefit, record_series
+
+
+def test_ablation_expansion_on_running_example(benchmark):
+    """Expansion on the Figure 4 graph: option counts and score improvement."""
+    workload = traffic_workload()
+    rates = RateCatalog(default_rate=1.0)
+
+    def run_once():
+        plain = SharonOptimizer(rates, expand=False, benefit_override=paper_benefit).optimize(
+            workload
+        )
+        expanded = SharonOptimizer(rates, expand=True, benefit_override=paper_benefit).optimize(
+            workload
+        )
+        assert expanded.plan.score >= plain.plan.score - 1e-9
+        return {
+            "candidates": plain.candidates_total,
+            "candidates_after_expansion": expanded.candidates_after_expansion,
+            "score_without_expansion": round(plain.plan.score, 2),
+            "score_with_expansion": round(expanded.plan.score, 2),
+            "latency_without_expansion_s": round(plain.total_seconds, 5),
+            "latency_with_expansion_s": round(expanded.total_seconds, 5),
+        }
+
+    summary = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert summary["candidates_after_expansion"] >= summary["candidates"]
+    record_series(benchmark, figure="ablation-expansion-example", summary=summary)
+
+
+def test_ablation_expansion_on_generated_workload(benchmark):
+    """Expansion cost/benefit on a generated e-commerce workload."""
+    workload, stream = ec_scenario(
+        num_queries=8, pattern_length=5, events_per_second=15.0, duration=60, seed=181
+    )
+    rates = RateCatalog.from_stream(stream, per="time-unit")
+
+    def run_once():
+        started = time.perf_counter()
+        plain = SharonOptimizer(rates, expand=False, time_budget_seconds=10.0).optimize(workload)
+        plain_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        expanded = SharonOptimizer(rates, expand=True, time_budget_seconds=10.0).optimize(
+            workload
+        )
+        expanded_seconds = time.perf_counter() - started
+
+        assert expanded.plan.score >= plain.plan.score - 1e-9
+        return {
+            "score_without_expansion": round(plain.plan.score, 2),
+            "score_with_expansion": round(expanded.plan.score, 2),
+            "latency_without_expansion_s": round(plain_seconds, 4),
+            "latency_with_expansion_s": round(expanded_seconds, 4),
+            "candidates_without_expansion": plain.candidates_after_expansion,
+            "candidates_with_expansion": expanded.candidates_after_expansion,
+        }
+
+    summary = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record_series(benchmark, figure="ablation-expansion-generated", summary=summary)

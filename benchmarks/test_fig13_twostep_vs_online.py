@@ -1,0 +1,136 @@
+"""Figure 13: two-step versus online approaches (Linear Road data set).
+
+The paper varies the number of events per window and shows that the latency
+of the two-step approaches (Flink, SPASS) grows exponentially and their
+throughput collapses, to the point where they fail beyond a few thousand
+events per window, while the online approaches (A-Seq, Sharon) stay orders of
+magnitude faster.
+
+The benchmark reproduces the sweep at a laptop scale: the events-per-window
+axis is swept over modest values, each executor is timed per setting, and the
+series plus the derived speed-ups are attached to ``extra_info``.  The shape
+assertions check the qualitative claims: two-step latency grows super-linearly
+with the window content, online approaches beat two-step ones by a widening
+margin, and the two-step budget guard trips where the paper reports
+non-termination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import ChainConfig, chain_stream, chain_workload
+from repro.events import SlidingWindow
+from repro.executor import FlinkLikeExecutor, TwoStepBudgetExceeded
+
+from .harness import optimize, record_series, run_executor
+
+#: Events per second of the LR stream; with a 30-second window the
+#: events-per-window axis is 30x these values.
+EVENT_RATES = [4.0, 8.0, 16.0]
+APPROACHES = ["Flink-like", "SPASS-like", "A-Seq", "Sharon"]
+
+#: Few segments and few cars so each (window, car) scope holds many events of
+#: every segment type — the regime where sequence construction is polynomial
+#: in the window content and the two-step approaches collapse (Section 1).
+CHAIN = ChainConfig(num_event_types=6, type_prefix="Seg", entity_attribute="car")
+WINDOW = SlidingWindow(size=30, slide=15)
+
+
+def scenario_for(rate: float, duration: int = 60, seed: int = 131):
+    workload = chain_workload(
+        7,
+        3,
+        config=CHAIN,
+        window=WINDOW,
+        seed=seed,
+        offset_pool_size=3,
+    )
+    stream = chain_stream(
+        duration=duration,
+        events_per_second=rate,
+        config=CHAIN,
+        num_entities=3,
+        advance_probability=0.6,
+        seed=seed + 1,
+    )
+    return workload, stream
+
+
+@pytest.mark.parametrize("rate", EVENT_RATES)
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_fig13_latency_throughput(benchmark, approach, rate):
+    """One bar of Figure 13(a)/(b): latency and throughput per approach and rate."""
+    workload, stream = scenario_for(rate)
+    plan = optimize(workload, stream)
+
+    def run_once():
+        return run_executor(approach, workload, stream, plan)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record_series(
+        benchmark,
+        figure="13",
+        approach=approach,
+        events_per_window=rate * WINDOW.size,
+        latency_ms=result.latency_ms,
+        throughput_events_per_second=result.throughput,
+    )
+
+
+def test_fig13_shape_online_beats_twostep(benchmark):
+    """The qualitative claims of Figure 13 hold across the sweep."""
+    series: dict[str, list[float]] = {name: [] for name in APPROACHES}
+    for rate in EVENT_RATES:
+        workload, stream = scenario_for(rate)
+        plan = optimize(workload, stream)
+        for approach in APPROACHES:
+            run = run_executor(approach, workload, stream, plan)
+            series[approach].append(run.latency_ms)
+
+    def check_shape():
+        # Online approaches are faster than two-step approaches at every rate.
+        for index in range(len(EVENT_RATES)):
+            assert series["A-Seq"][index] < series["Flink-like"][index]
+            assert series["Sharon"][index] < series["Flink-like"][index]
+            assert series["Sharon"][index] < series["SPASS-like"][index]
+        # The two-step latency grows faster than the online latency as the
+        # window content grows (the widening gap of Figure 13(a)).
+        flink_growth = series["Flink-like"][-1] / series["Flink-like"][0]
+        sharon_growth = series["Sharon"][-1] / max(series["Sharon"][0], 1e-9)
+        assert flink_growth > sharon_growth
+        return {
+            name: [round(value, 2) for value in values] for name, values in series.items()
+        }
+
+    measured = benchmark.pedantic(check_shape, rounds=1, iterations=1)
+    record_series(benchmark, figure="13-shape", latency_ms_series=measured)
+
+
+def test_fig13_twostep_fails_on_large_windows(benchmark):
+    """Flink/SPASS 'do not terminate' beyond a few thousand events per window.
+
+    The reproduction's analogue is the sequence-construction budget guard:
+    with a dense window the two-step executor exceeds it and aborts, while the
+    online executors process the same stream without trouble.
+    """
+    workload, stream = scenario_for(rate=60.0, duration=45, seed=137)
+
+    def run_guard():
+        executor = FlinkLikeExecutor(workload, max_sequences_per_scope=100_000)
+        try:
+            executor.run(stream)
+        except TwoStepBudgetExceeded:
+            return True
+        return False
+
+    failed = benchmark.pedantic(run_guard, rounds=1, iterations=1)
+    online = run_executor("Sharon", workload, stream, optimize(workload, stream))
+    assert failed, "the two-step executor should exceed its construction budget"
+    assert online.throughput > 0
+    record_series(
+        benchmark,
+        figure="13-failure-point",
+        twostep_failed=failed,
+        online_throughput=online.throughput,
+    )

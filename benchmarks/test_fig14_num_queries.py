@@ -1,0 +1,87 @@
+"""Figure 14(b)/(f)/(d): online approaches while varying the number of queries (LR).
+
+The paper's headline result: Sharon's speed-up over A-Seq grows from 5-fold
+to 18-fold as the workload grows from 20 to 120 queries, and its memory
+footprint is up to two orders of magnitude smaller, because the more queries
+share a pattern the fewer aggregates have to be maintained.
+
+The reproduction sweeps the workload size of the Linear-Road scenario
+(patterns drawn from a small offset pool, so added queries genuinely share),
+measures latency, throughput, and sampled peak memory of both online
+executors, and asserts the shape: the Sharon/A-Seq latency ratio grows with
+the number of queries and Sharon never uses more memory than A-Seq at the
+largest workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import SlidingWindow
+
+from .harness import lr_scenario, optimize, record_series, run_executor
+
+QUERY_COUNTS = [8, 16, 32]
+WINDOW = SlidingWindow(size=40, slide=20)
+
+
+def scenario_for(num_queries: int):
+    return lr_scenario(
+        num_queries=num_queries,
+        pattern_length=6,
+        events_per_second=20.0,
+        duration=100,
+        window=WINDOW,
+        seed=143,
+    )
+
+
+@pytest.mark.parametrize("num_queries", QUERY_COUNTS)
+@pytest.mark.parametrize("approach", ["Sharon", "A-Seq"])
+def test_fig14_num_queries(benchmark, approach, num_queries):
+    """One point of Figure 14(b)/(f)/(d) for one online approach."""
+    workload, stream = scenario_for(num_queries)
+    plan = optimize(workload, stream)
+
+    def run_once():
+        return run_executor(approach, workload, stream, plan, memory_sample_interval=4)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record_series(
+        benchmark,
+        figure="14bfd",
+        approach=approach,
+        num_queries=num_queries,
+        latency_ms=result.latency_ms,
+        throughput_events_per_second=result.throughput,
+        peak_memory_bytes=result.memory_bytes,
+    )
+
+
+def test_fig14_speedup_grows_with_queries(benchmark):
+    """The Sharon/A-Seq gap widens as more queries share patterns."""
+    speedups = []
+    memory_ratio_at_largest = None
+    for num_queries in QUERY_COUNTS:
+        workload, stream = scenario_for(num_queries)
+        plan = optimize(workload, stream)
+        sharon = run_executor("Sharon", workload, stream, plan, memory_sample_interval=4)
+        aseq = run_executor("A-Seq", workload, stream, plan, memory_sample_interval=4)
+        speedups.append(aseq.latency_ms / max(sharon.latency_ms, 1e-9))
+        if num_queries == QUERY_COUNTS[-1]:
+            memory_ratio_at_largest = aseq.memory_bytes / max(sharon.memory_bytes, 1)
+
+    def check():
+        assert all(s > 1.0 for s in speedups), speedups
+        assert speedups[-1] > speedups[0], speedups
+        assert memory_ratio_at_largest >= 1.0, memory_ratio_at_largest
+        return [round(s, 2) for s in speedups]
+
+    measured = benchmark.pedantic(check, rounds=1, iterations=1)
+    record_series(
+        benchmark,
+        figure="14bfd-shape",
+        num_queries=QUERY_COUNTS,
+        sharon_speedup_over_aseq=measured,
+        aseq_over_sharon_memory_at_largest=round(memory_ratio_at_largest, 2),
+    )

@@ -1,0 +1,85 @@
+"""Figure 14(c)/(g)/(h): online approaches while varying pattern length (EC).
+
+In the paper the speed-up of Sharon over A-Seq grows from 4- to 6-fold when
+the pattern length grows from 10 to 30, and Sharon needs 20-fold less memory
+at length 30: longer shared patterns replace more per-query work.
+
+The reproduction sweeps the pattern length of the e-commerce scenario,
+measures latency, throughput, and sampled peak memory, and asserts the shape:
+Sharon is at least as fast as A-Seq at every length, the advantage does not
+shrink with longer patterns, and Sharon's memory never exceeds A-Seq's at the
+longest patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import SlidingWindow
+
+from .harness import ec_scenario, optimize, record_series, run_executor
+
+PATTERN_LENGTHS = [4, 8, 12]
+WINDOW = SlidingWindow(size=40, slide=20)
+
+
+def scenario_for(pattern_length: int):
+    return ec_scenario(
+        num_queries=16,
+        pattern_length=pattern_length,
+        events_per_second=20.0,
+        duration=100,
+        num_items=30,
+        window=WINDOW,
+        seed=147,
+    )
+
+
+@pytest.mark.parametrize("pattern_length", PATTERN_LENGTHS)
+@pytest.mark.parametrize("approach", ["Sharon", "A-Seq"])
+def test_fig14_pattern_length(benchmark, approach, pattern_length):
+    """One point of Figure 14(c)/(g)/(h) for one online approach."""
+    workload, stream = scenario_for(pattern_length)
+    plan = optimize(workload, stream)
+
+    def run_once():
+        return run_executor(approach, workload, stream, plan, memory_sample_interval=4)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record_series(
+        benchmark,
+        figure="14cgh",
+        approach=approach,
+        pattern_length=pattern_length,
+        latency_ms=result.latency_ms,
+        throughput_events_per_second=result.throughput,
+        peak_memory_bytes=result.memory_bytes,
+    )
+
+
+def test_fig14_speedup_with_longer_patterns(benchmark):
+    """Sharon's advantage persists (and tends to grow) with longer patterns."""
+    speedups = []
+    memory_ratios = []
+    for pattern_length in PATTERN_LENGTHS:
+        workload, stream = scenario_for(pattern_length)
+        plan = optimize(workload, stream)
+        sharon = run_executor("Sharon", workload, stream, plan, memory_sample_interval=4)
+        aseq = run_executor("A-Seq", workload, stream, plan, memory_sample_interval=4)
+        speedups.append(aseq.latency_ms / max(sharon.latency_ms, 1e-9))
+        memory_ratios.append(aseq.memory_bytes / max(sharon.memory_bytes, 1))
+
+    def check():
+        assert all(s >= 1.0 for s in speedups), speedups
+        assert speedups[-1] >= speedups[0] * 0.9, speedups
+        assert memory_ratios[-1] >= 1.0, memory_ratios
+        return [round(s, 2) for s in speedups]
+
+    measured = benchmark.pedantic(check, rounds=1, iterations=1)
+    record_series(
+        benchmark,
+        figure="14cgh-shape",
+        pattern_lengths=PATTERN_LENGTHS,
+        sharon_speedup_over_aseq=measured,
+        aseq_over_sharon_memory=[round(r, 2) for r in memory_ratios],
+    )

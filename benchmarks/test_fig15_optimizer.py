@@ -1,0 +1,151 @@
+"""Figure 15: Sharon optimizer versus greedy and exhaustive optimizers (EC workload).
+
+The paper compares three optimizers while varying the number of queries:
+
+* the greedy optimizer (graph construction + GWMIN) is the fastest but may
+  return a sub-optimal plan;
+* the exhaustive optimizer (construction + expansion + full subset sweep)
+  fails beyond ~20 queries, and at 20 queries is orders of magnitude slower
+  than the greedy one;
+* the Sharon optimizer (construction + expansion + reduction + plan finder)
+  is far cheaper than the exhaustive search (it prunes most of the plan
+  space) yet still returns an optimal plan, at a latency between the two.
+
+The reproduction sweeps small workload sizes (the exhaustive optimizer is
+exponential by design), times each optimizer phase pipeline, and records plan
+scores.  Sharing-conflict resolution (graph expansion, Section 7.1) is
+disabled for the Sharon and exhaustive optimizers in this sweep so that the
+exhaustive sweep is feasible at all — even a handful of queries expands into
+dozens of candidate options, and 2^options subsets are out of reach in pure
+Python; the expansion phase is measured separately in
+``test_ablation_expansion.py``.  Shape assertions: greedy is the cheapest
+optimizer; Sharon's plan score matches the exhaustive optimum where the
+exhaustive optimizer completes and is never below the greedy score; the
+exhaustive optimizer refuses workloads beyond its candidate budget (the
+paper's "fails to terminate for more than 20 queries").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExhaustiveOptimizer, GreedyOptimizer, SharonOptimizer
+from repro.events import SlidingWindow
+from repro.utils import RateCatalog
+
+from .harness import ec_scenario, record_series
+
+QUERY_COUNTS = [4, 8, 12]
+WINDOW = SlidingWindow(size=40, slide=20)
+
+
+def scenario_for(num_queries: int):
+    # Moderate overlap so candidate counts stay within the exhaustive
+    # optimizer's reach at the smallest workload sizes (as in the paper,
+    # which could only run it up to 20 queries).
+    workload, stream = ec_scenario(
+        num_queries=num_queries,
+        pattern_length=5,
+        events_per_second=15.0,
+        duration=60,
+        num_items=40,
+        window=WINDOW,
+        seed=151,
+    )
+    rates = RateCatalog.from_stream(stream, per="time-unit")
+    return workload, rates
+
+
+def build_optimizer(kind: str, rates: RateCatalog):
+    if kind == "greedy":
+        return GreedyOptimizer(rates)
+    if kind == "sharon":
+        return SharonOptimizer(rates, expand=False, time_budget_seconds=10.0)
+    if kind == "exhaustive":
+        return ExhaustiveOptimizer(rates, expand=False, max_candidates=22)
+    raise ValueError(kind)
+
+
+@pytest.mark.parametrize("num_queries", QUERY_COUNTS)
+@pytest.mark.parametrize("kind", ["greedy", "sharon", "exhaustive"])
+def test_fig15_optimizer_latency(benchmark, kind, num_queries):
+    """One bar of Figure 15(a)/(b): one optimizer at one workload size."""
+    workload, rates = scenario_for(num_queries)
+    optimizer = build_optimizer(kind, rates)
+
+    def run_once():
+        try:
+            return optimizer.optimize(workload)
+        except RuntimeError:
+            return None  # the exhaustive optimizer refusing to run (paper: "fails")
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record_series(
+        benchmark,
+        figure="15",
+        optimizer=kind,
+        num_queries=num_queries,
+        completed=result is not None,
+        plan_score=None if result is None else round(result.plan.score, 2),
+        phase_seconds=None if result is None else {k: round(v, 5) for k, v in result.phase_seconds.items()},
+        peak_bytes=None if result is None else result.peak_bytes,
+        candidates=None if result is None else result.candidates_after_expansion,
+    )
+
+
+def test_fig15_shape(benchmark):
+    """Latency ordering and plan-quality claims of Figure 15 / Section 8.3."""
+    rows = []
+    for num_queries in QUERY_COUNTS:
+        workload, rates = scenario_for(num_queries)
+        greedy = build_optimizer("greedy", rates).optimize(workload)
+        sharon = build_optimizer("sharon", rates).optimize(workload)
+        try:
+            exhaustive = build_optimizer("exhaustive", rates).optimize(workload)
+        except RuntimeError:
+            exhaustive = None
+        rows.append((num_queries, greedy, sharon, exhaustive))
+
+    def check():
+        summary = {}
+        for num_queries, greedy, sharon, exhaustive in rows:
+            # The Sharon plan is never worse than the greedy plan.
+            assert sharon.plan.score >= greedy.plan.score - 1e-9
+            # Greedy is the cheapest optimizer.
+            assert greedy.total_seconds <= sharon.total_seconds * 1.5 + 1e-3
+            if exhaustive is not None:
+                # Optimality: Sharon matches the exhaustive sweep's score
+                # (both search the expanded graph).
+                assert sharon.plan.score >= exhaustive.plan.score - 1e-9
+                # Sharon prunes, so it should not be slower than exhaustive
+                # search by more than a small constant factor.
+                assert sharon.total_seconds <= exhaustive.total_seconds * 2 + 1e-3
+            summary[num_queries] = {
+                "greedy_score": round(greedy.plan.score, 1),
+                "sharon_score": round(sharon.plan.score, 1),
+                "exhaustive_score": None if exhaustive is None else round(exhaustive.plan.score, 1),
+                "greedy_seconds": round(greedy.total_seconds, 5),
+                "sharon_seconds": round(sharon.total_seconds, 5),
+                "exhaustive_seconds": None if exhaustive is None else round(exhaustive.total_seconds, 5),
+            }
+        return summary
+
+    measured = benchmark.pedantic(check, rounds=1, iterations=1)
+    record_series(benchmark, figure="15-shape", summary=measured)
+
+
+def test_fig15_exhaustive_fails_beyond_budget(benchmark):
+    """Beyond ~20 queries the exhaustive optimizer does not terminate (paper)."""
+    workload, rates = scenario_for(24)
+    optimizer = ExhaustiveOptimizer(rates, expand=False, max_candidates=22)
+
+    def run_guard():
+        try:
+            optimizer.optimize(workload)
+        except RuntimeError:
+            return True
+        return False
+
+    failed = benchmark.pedantic(run_guard, rounds=1, iterations=1)
+    assert failed
+    record_series(benchmark, figure="15-failure-point", exhaustive_failed=failed)

@@ -1,0 +1,43 @@
+"""Regenerate the paper's evaluation figures as text tables.
+
+This script runs the same sweeps as the ``benchmarks/`` suite (Figures 13-16
+of the paper) through :mod:`repro.experiments` and prints each figure's
+series as an ASCII table.  It is the quickest way to eyeball the reproduced
+shapes without pytest; `EXPERIMENTS.md` records a snapshot of this output
+against the paper's reported numbers.
+
+Run with::
+
+    python examples/reproduce_figures.py            # quick sweep (a few minutes)
+    python examples/reproduce_figures.py --full     # full sweep used for EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import run_all_figures
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full sweeps (slower); default is a quick subset",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    results = run_all_figures(quick=not args.full)
+    for result in results:
+        print(result.render())
+        print()
+    elapsed = time.perf_counter() - started
+    print(f"Reproduced {len(results)} figures in {elapsed:.1f} s "
+          f"({'full' if args.full else 'quick'} sweep).")
+
+
+if __name__ == "__main__":
+    main()

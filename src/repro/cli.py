@@ -1,0 +1,306 @@
+"""Command-line interface for the Sharon reproduction.
+
+The CLI exposes the library's main workflows without writing Python:
+
+``python -m repro optimize``
+    Parse a workload file (one SASE-style query per block separated by blank
+    lines), generate or load rates, run the chosen optimizer, and print the
+    sharing plan.
+
+``python -m repro run``
+    Optimize a workload and execute it over a generated data set with the
+    chosen executor, printing results and metrics.
+
+``python -m repro figures``
+    Reproduce the evaluation figures as text tables (same sweeps as
+    ``examples/reproduce_figures.py``).
+
+``python -m repro datasets``
+    Generate one of the synthetic data sets and print its statistics (or
+    write it to a CSV file).
+
+The CLI is intentionally thin: every command maps onto documented library
+calls so scripts can graduate to the Python API without surprises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from .core import ExhaustiveOptimizer, GreedyOptimizer, SharonOptimizer
+from .datasets import (
+    EcommerceConfig,
+    LinearRoadConfig,
+    TaxiConfig,
+    generate_ecommerce_stream,
+    generate_linear_road_stream,
+    generate_taxi_stream,
+    purchase_workload,
+    traffic_workload,
+)
+from .events import EventStream
+from .executor import ASeqExecutor, FlinkLikeExecutor, SharonExecutor, SpassLikeExecutor
+from .experiments import format_table, run_all_figures
+from .queries import Workload, parse_query
+from .utils import RateCatalog
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# input helpers
+# ---------------------------------------------------------------------------
+
+def load_workload(path: str | Path) -> Workload:
+    """Load a workload file: SASE-style queries separated by blank lines.
+
+    Lines starting with ``#`` are comments.  Each query block may start with
+    ``name: <identifier>`` to name the query; unnamed queries get ``q1``,
+    ``q2``, ... in file order.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    blocks = [block.strip() for block in text.split("\n\n") if block.strip()]
+    queries = []
+    for index, block in enumerate(blocks, start=1):
+        lines = [line for line in block.splitlines() if not line.strip().startswith("#")]
+        name = f"q{index}"
+        if lines and lines[0].lower().startswith("name:"):
+            name = lines[0].split(":", 1)[1].strip()
+            lines = lines[1:]
+        query_text = " ".join(line.strip() for line in lines if line.strip())
+        if not query_text:
+            continue
+        queries.append(parse_query(query_text, name=name))
+    if not queries:
+        raise SystemExit(f"no queries found in workload file {path}")
+    return Workload(queries, name=Path(path).stem)
+
+
+def builtin_workload(name: str) -> Workload:
+    if name == "traffic":
+        return traffic_workload()
+    if name == "purchase":
+        return purchase_workload()
+    raise SystemExit(f"unknown built-in workload {name!r}; choose traffic or purchase")
+
+
+def build_stream(dataset: str, duration: int, rate: float, seed: int) -> EventStream:
+    if dataset == "taxi":
+        return generate_taxi_stream(
+            TaxiConfig(duration_seconds=duration, reports_per_second=rate, seed=seed)
+        )
+    if dataset == "linear-road":
+        return generate_linear_road_stream(
+            LinearRoadConfig(
+                duration_seconds=duration, initial_rate=max(rate / 4, 1.0), final_rate=rate, seed=seed
+            )
+        )
+    if dataset == "ecommerce":
+        return generate_ecommerce_stream(
+            EcommerceConfig(duration_seconds=duration, purchases_per_second=rate, seed=seed)
+        )
+    raise SystemExit(f"unknown dataset {dataset!r}; choose taxi, linear-road, or ecommerce")
+
+
+def resolve_workload(args: argparse.Namespace) -> Workload:
+    if args.workload_file:
+        return load_workload(args.workload_file)
+    return builtin_workload(args.workload)
+
+
+OPTIMIZERS = {
+    "sharon": lambda rates: SharonOptimizer(rates, time_budget_seconds=10.0),
+    "sharon-expanded": lambda rates: SharonOptimizer(rates, expand=True, time_budget_seconds=10.0),
+    "greedy": lambda rates: GreedyOptimizer(rates),
+    "exhaustive": lambda rates: ExhaustiveOptimizer(rates),
+}
+
+EXECUTORS = {
+    "sharon": lambda workload, plan: SharonExecutor(workload, plan=plan, memory_sample_interval=8),
+    "aseq": lambda workload, plan: ASeqExecutor(workload, memory_sample_interval=8),
+    "flink": lambda workload, plan: FlinkLikeExecutor(workload, memory_sample_interval=8),
+    "spass": lambda workload, plan: SpassLikeExecutor(workload, plan=plan, memory_sample_interval=8),
+}
+
+
+# ---------------------------------------------------------------------------
+# sub-commands
+# ---------------------------------------------------------------------------
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args)
+    stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
+    rates = RateCatalog.from_stream(stream, per="time-unit")
+    optimizer = OPTIMIZERS[args.optimizer](rates)
+    result = optimizer.optimize(workload)
+
+    print(f"Workload {workload.name!r}: {len(workload)} queries")
+    print(
+        f"Candidates: {result.candidates_total} "
+        f"(after expansion {result.candidates_after_expansion}, "
+        f"after reduction {result.candidates_after_reduction})"
+    )
+    print(f"Optimizer latency: {result.total_seconds * 1000:.2f} ms; "
+          f"plans considered: {result.plans_considered}; "
+          f"fallback used: {result.used_fallback}")
+    print(f"\nSharing plan (score {result.plan.score:.2f}):")
+    if result.plan.is_empty:
+        print("  (empty plan - every query runs non-shared)")
+    for candidate in result.plan:
+        print(f"  share {candidate.pattern!r} among {list(candidate.query_names)} "
+              f"(benefit {candidate.benefit:.2f})")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args)
+    stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
+    rates = RateCatalog.from_stream(stream, per="time-unit")
+    plan = OPTIMIZERS[args.optimizer](rates).optimize(workload).plan
+    executor = EXECUTORS[args.executor](workload, plan)
+    report = executor.run(stream)
+
+    print(report.metrics.summary())
+    rows = [
+        [result.query_name, repr(result.window), repr(result.group), result.value]
+        for result in sorted(
+            report.results.nonzero(), key=lambda r: (r.query_name, r.window), reverse=False
+        )[: args.limit]
+    ]
+    if rows:
+        print()
+        print(format_table(["query", "window", "group", "value"], rows, title="Results (first rows)"))
+    else:
+        print("No non-zero results produced.")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    results = run_all_figures(quick=not args.full)
+    for result in results:
+        print(result.render())
+        print()
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
+    stats = stream.statistics()
+    print(f"{args.dataset}: {stats.total_events} events over {stats.duration} time units "
+          f"({stats.overall_rate:.1f} events per time unit)")
+    rows = [
+        [event_type, count, round(stats.rate_of(event_type), 3)]
+        for event_type, count in sorted(stats.counts_per_type.items())
+    ]
+    print(format_table(["event type", "events", "rate"], rows))
+    if args.output:
+        _write_csv(stream, args.output)
+        print(f"\nWrote {len(stream)} events to {args.output}")
+    return 0
+
+
+def _write_csv(stream: EventStream, path: str | Path) -> None:
+    attribute_names = sorted({name for event in stream for name in event.attributes})
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["event_type", "timestamp", *attribute_names])
+        for event in stream:
+            writer.writerow(
+                [event.event_type, event.timestamp]
+                + [event.attribute(name, "") for name in attribute_names]
+            )
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def _add_common_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        default="traffic",
+        choices=["traffic", "purchase"],
+        help="built-in workload to use (default: traffic)",
+    )
+    parser.add_argument(
+        "--workload-file",
+        help="path to a workload file with one SASE-style query per blank-line-separated block",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="taxi",
+        choices=["taxi", "linear-road", "ecommerce"],
+        help="synthetic data set to generate (default: taxi)",
+    )
+    parser.add_argument("--duration", type=int, default=300, help="stream duration in time units")
+    parser.add_argument("--rate", type=float, default=10.0, help="events per time unit")
+    parser.add_argument("--seed", type=int, default=1, help="random seed of the generator")
+    parser.add_argument(
+        "--optimizer",
+        default="sharon",
+        choices=sorted(OPTIMIZERS),
+        help="optimizer choosing the sharing plan (default: sharon)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Sharon: Shared Online Event Sequence Aggregation' (ICDE 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    optimize_parser = subparsers.add_parser(
+        "optimize", help="compute and print a sharing plan for a workload"
+    )
+    _add_common_input_arguments(optimize_parser)
+    optimize_parser.set_defaults(handler=cmd_optimize)
+
+    run_parser = subparsers.add_parser(
+        "run", help="optimize a workload and execute it over a generated stream"
+    )
+    _add_common_input_arguments(run_parser)
+    run_parser.add_argument(
+        "--executor",
+        default="sharon",
+        choices=sorted(EXECUTORS),
+        help="executor to use (default: sharon)",
+    )
+    run_parser.add_argument("--limit", type=int, default=15, help="number of result rows to print")
+    run_parser.set_defaults(handler=cmd_run)
+
+    figures_parser = subparsers.add_parser(
+        "figures", help="reproduce the evaluation figures as text tables"
+    )
+    figures_parser.add_argument("--full", action="store_true", help="run the full sweeps")
+    figures_parser.set_defaults(handler=cmd_figures)
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="generate a synthetic data set and print its statistics"
+    )
+    datasets_parser.add_argument(
+        "--dataset",
+        default="taxi",
+        choices=["taxi", "linear-road", "ecommerce"],
+    )
+    datasets_parser.add_argument("--duration", type=int, default=120)
+    datasets_parser.add_argument("--rate", type=float, default=10.0)
+    datasets_parser.add_argument("--seed", type=int, default=1)
+    datasets_parser.add_argument("--output", help="optional CSV file to write the events to")
+    datasets_parser.set_defaults(handler=cmd_datasets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

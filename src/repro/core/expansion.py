@@ -1,0 +1,152 @@
+"""Sharing conflict resolution (Section 7.1, Algorithms 5 and 6).
+
+A conflict between candidates ``v = (p, Qp)`` and ``u`` is *caused* by the
+queries that contain both overlapping patterns.  Dropping those queries from
+``Qp`` yields an *option* ``(p, Q'p)`` that no longer conflicts with ``u`` —
+at the price of sharing ``p`` among fewer queries (and hence a smaller
+benefit).  Expanding every candidate into its set of options opens sharing
+opportunities that the original graph excludes; Example 12/13 shows how the
+optimal plan over the expanded graph beats both the greedy plan and the
+optimal plan over the unexpanded graph.
+
+The expansion enumerates, for each conflict, every combination of causing
+queries whose removal resolves it (Algorithm 5), breadth-first over already
+generated options, and then rebuilds conflicts over the expanded vertex set
+(Algorithm 6).  Benefits of the options are re-estimated with the benefit
+model, and options that are not beneficial (or keep fewer than two queries)
+are discarded, mirroring non-beneficial pruning.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable
+
+from ..queries.workload import Workload
+from .benefit import BenefitModel
+from .candidates import SharingCandidate
+from .conflicts import ConflictDetector
+from .graph import SharonGraph
+
+__all__ = ["expand_candidate", "expand_sharon_graph"]
+
+#: Signature of the benefit re-estimation hook used during expansion.
+BenefitFunction = Callable[[SharingCandidate], float]
+
+
+def _default_benefit_function(workload: Workload, model: BenefitModel) -> BenefitFunction:
+    def benefit_of(candidate: SharingCandidate) -> float:
+        queries = [workload[name] for name in candidate.query_names]
+        return model.benefit(candidate.pattern, queries)
+
+    return benefit_of
+
+
+def expand_candidate(
+    graph: SharonGraph,
+    detector: ConflictDetector,
+    candidate: SharingCandidate,
+    benefit_of: BenefitFunction,
+    max_options: int = 256,
+) -> list[SharingCandidate]:
+    """Algorithm 5: the set of options ``Op`` for one candidate.
+
+    The original candidate is always the first element.  Options are produced
+    breadth-first: each round takes the options generated so far and, for each
+    of their conflicts with *other* candidates of the graph, drops every
+    combination of causing queries that resolves that conflict.  Options with
+    fewer than two remaining queries are discarded; duplicates are produced
+    once.  ``max_options`` bounds the worst-case exponential growth
+    (Equation 14) — the cap is generous for the paper's workloads and exists
+    only as a safety valve for adversarial inputs.
+    """
+    options: list[SharingCandidate] = [candidate]
+    known_query_sets: set[frozenset[str]] = {candidate.query_set}
+    current: list[SharingCandidate] = [candidate]
+
+    other_vertices = [v for v in graph.vertices if v.pattern != candidate.pattern]
+
+    while current and len(options) < max_options:
+        next_round: list[SharingCandidate] = []
+        for option in current:
+            for other in other_vertices:
+                causing = detector.causing_queries(option, other)
+                if not causing:
+                    continue
+                # Dropping any non-empty subset of the causing queries from
+                # the option resolves (part of) the conflict; dropping all of
+                # them resolves it completely.  All combinations are explored
+                # as in the paper (Lines 7-10 of Algorithm 5).
+                for size in range(1, len(causing) + 1):
+                    for combo in combinations(causing, size):
+                        remaining = tuple(
+                            name for name in option.query_names if name not in set(combo)
+                        )
+                        if len(remaining) < 2:
+                            continue
+                        query_set = frozenset(remaining)
+                        if query_set in known_query_sets:
+                            continue
+                        known_query_sets.add(query_set)
+                        new_option = SharingCandidate(option.pattern, remaining)
+                        new_option = new_option.with_benefit(benefit_of(new_option))
+                        next_round.append(new_option)
+                        options.append(new_option)
+                        if len(options) >= max_options:
+                            return options
+        current = next_round
+    return options
+
+
+def expand_sharon_graph(
+    graph: SharonGraph,
+    workload: Workload,
+    model: "BenefitModel | None" = None,
+    benefit_of: BenefitFunction | None = None,
+    max_options_per_candidate: int = 256,
+) -> SharonGraph:
+    """Algorithm 6: the expanded Sharon graph.
+
+    Every vertex of ``graph`` is expanded into its option set; options that
+    are not beneficial are dropped; conflicts are recomputed over the full
+    expanded vertex set (options of the same pattern conflict exactly when
+    their query sets intersect, other pairs follow Definition 6).
+
+    Parameters
+    ----------
+    graph:
+        The original Sharon graph.
+    workload:
+        The workload the graph was built for (needed for conflict causes and
+        benefit re-estimation).
+    model:
+        Benefit model used to weigh the generated options.  Either ``model``
+        or ``benefit_of`` must be provided.
+    benefit_of:
+        Custom benefit function overriding ``model`` (used by tests pinning
+        paper-example weights).
+    """
+    if benefit_of is None:
+        if model is None:
+            raise ValueError("expand_sharon_graph needs a BenefitModel or a benefit function")
+        benefit_of = _default_benefit_function(workload, model)
+
+    detector = ConflictDetector(workload)
+    expanded_vertices: list[SharingCandidate] = []
+    seen: set[SharingCandidate] = set()
+    for vertex in graph.vertices:
+        for option in expand_candidate(
+            graph, detector, vertex, benefit_of, max_options=max_options_per_candidate
+        ):
+            if option.benefit <= 0 or option in seen:
+                continue
+            seen.add(option)
+            expanded_vertices.append(option)
+
+    expanded = SharonGraph(expanded_vertices)
+    vertices = expanded.vertices
+    for i, first in enumerate(vertices):
+        for second in vertices[i + 1 :]:
+            if detector.in_conflict(first, second):
+                expanded.add_edge(first, second)
+    return expanded

@@ -1,0 +1,53 @@
+"""GWMIN: greedy approximation of the Maximum Weight Independent Set.
+
+This is Algorithm 8 (Appendix B), the "Greedy Minimum degree algorithm for
+Weighted graphs" of Sakai, Togasaki and Yamazaki.  It repeatedly picks the
+vertex maximising ``weight(v) / (degree(v) + 1)`` in the *remaining* graph,
+adds it to the independent set, and deletes it together with its neighbours.
+
+Sharon uses GWMIN in two roles:
+
+* its guaranteed weight (Equation 10) prunes conflict-ridden candidates from
+  the Sharon graph (Section 5);
+* it is the *greedy optimizer* baseline of the evaluation (Section 8.3) and
+  the fallback planner when the optimal search exceeds its time budget
+  (Section 6).
+"""
+
+from __future__ import annotations
+
+from .candidates import SharingCandidate
+from .graph import SharonGraph
+from .plan import SharingPlan
+
+__all__ = ["gwmin_independent_set", "gwmin_plan"]
+
+
+def gwmin_independent_set(graph: SharonGraph) -> list[SharingCandidate]:
+    """Run GWMIN and return the selected candidates in selection order.
+
+    The returned set is independent (no two selected candidates conflict) and
+    its total weight is at least ``Σ_v weight(v) / (degree(v) + 1)`` over the
+    input graph (Equation 10).
+    """
+    working = graph.copy()
+    selected: list[SharingCandidate] = []
+    while len(working) > 0:
+        best_vertex = None
+        best_ratio = float("-inf")
+        for vertex in working.vertices:
+            ratio = vertex.benefit / (working.degree(vertex) + 1)
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_vertex = vertex
+        assert best_vertex is not None  # the graph is non-empty
+        selected.append(best_vertex)
+        for neighbour in working.neighbours(best_vertex):
+            working.remove_vertex(neighbour)
+        working.remove_vertex(best_vertex)
+    return selected
+
+
+def gwmin_plan(graph: SharonGraph) -> SharingPlan:
+    """The sharing plan induced by the GWMIN independent set."""
+    return SharingPlan(gwmin_independent_set(graph))

@@ -1,0 +1,134 @@
+"""The sharing plan finder (Section 6, Algorithms 3 and 4).
+
+The search space of sharing plans over ``n`` candidates is the lattice of all
+``2^n`` subsets (Equation 13).  The finder traverses only the *valid* portion
+of that lattice breadth-first: level ``s`` holds all valid plans of size
+``s`` and level ``s+1`` is generated Apriori-style by joining two parents
+that agree on their first ``s-1`` candidates and whose last candidates are
+not in conflict (Lemma 6).  Invalid branches are therefore cut at their roots
+(Lemma 4), and every valid plan is still generated (Lemma 7), so the plan of
+maximal score found during the traversal is optimal for the input graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .candidates import SharingCandidate
+from .graph import SharonGraph
+from .plan import SharingPlan
+
+__all__ = ["PlanSearchStatistics", "generate_next_level", "find_optimal_plan"]
+
+
+@dataclass
+class PlanSearchStatistics:
+    """Counters describing one run of the plan finder.
+
+    ``plans_considered`` counts every valid plan whose score was evaluated;
+    ``levels`` is the size of the largest valid plan found; ``peak_level_width``
+    is the maximum number of plans held at any level, which bounds the
+    finder's memory (it keeps only one level at a time).
+    """
+
+    plans_considered: int = 0
+    levels: int = 0
+    peak_level_width: int = 0
+    candidates: int = 0
+
+    def observe_level(self, width: int) -> None:
+        self.levels += 1
+        self.peak_level_width = max(self.peak_level_width, width)
+
+
+#: Internal plan representation during the search: a tuple of candidates in
+#: canonical (sorted) order, so that two plans share a prefix exactly when
+#: they agree on their first elements.
+_PlanTuple = tuple[SharingCandidate, ...]
+
+
+def generate_next_level(
+    graph: SharonGraph, parents: list[_PlanTuple]
+) -> list[_PlanTuple]:
+    """Algorithm 3: generate all valid plans of size ``s+1`` from level ``s``.
+
+    Parents must be valid plans of equal size in canonical candidate order.
+    In the base case (size-1 parents) the children are all non-adjacent vertex
+    pairs; in the inductive case two parents sharing their first ``s-1``
+    candidates are joined if their distinct last candidates are not in
+    conflict (Lemma 6 guarantees the join is valid).
+    """
+    children: list[_PlanTuple] = []
+    count = len(parents)
+    for i in range(count):
+        left = parents[i]
+        for j in range(i + 1, count):
+            right = parents[j]
+            if left[:-1] != right[:-1]:
+                # Parents are sorted lexicographically, so once prefixes
+                # diverge no later parent can match either.
+                break
+            if not graph.has_edge(left[-1], right[-1]):
+                children.append(left + (right[-1],))
+    return children
+
+
+def find_optimal_plan(
+    graph: SharonGraph,
+    conflict_free: "list[SharingCandidate] | tuple[SharingCandidate, ...]" = (),
+    statistics: PlanSearchStatistics | None = None,
+) -> SharingPlan:
+    """Algorithm 4: breadth-first traversal of the valid plan space.
+
+    Parameters
+    ----------
+    graph:
+        The (reduced) Sharon graph to search.
+    conflict_free:
+        Candidates already committed by the reduction step; they are united
+        with the best plan found (they conflict with nothing, so the union
+        stays valid).
+    statistics:
+        Optional mutable statistics collector.
+
+    Returns
+    -------
+    SharingPlan
+        A valid plan of maximal score over the graph's candidates, united
+        with ``conflict_free``.
+    """
+    stats = statistics if statistics is not None else PlanSearchStatistics()
+    vertices = list(graph.vertices)
+    stats.candidates = len(vertices)
+
+    best: _PlanTuple = ()
+    best_score = 0.0
+
+    # Level 1: single candidates (always valid, Definition 7).
+    level: list[_PlanTuple] = [(vertex,) for vertex in vertices]
+    while level:
+        stats.observe_level(len(level))
+        for plan in level:
+            stats.plans_considered += 1
+            score = sum(candidate.benefit for candidate in plan)
+            if score > best_score:
+                best = plan
+                best_score = score
+        level = generate_next_level(graph, level)
+
+    return SharingPlan(best).union(SharingPlan(tuple(conflict_free)))
+
+
+def enumerate_valid_plans(graph: SharonGraph) -> list[SharingPlan]:
+    """Enumerate *all* valid plans of a graph (test and analysis helper).
+
+    The empty plan is included.  This is exponential by nature and intended
+    for small graphs only (reference oracle for the plan finder and for the
+    search-space statistics of Example 10).
+    """
+    plans: list[SharingPlan] = [SharingPlan()]
+    level: list[_PlanTuple] = [(vertex,) for vertex in graph.vertices]
+    while level:
+        plans.extend(SharingPlan(plan) for plan in level)
+        level = generate_next_level(graph, level)
+    return plans

@@ -1,0 +1,179 @@
+"""Generic synthetic stream and workload generators.
+
+The evaluation sweeps of the paper vary three cost factors — the number of
+queries, the length of their patterns, and the number of events per window
+(Section 8.1).  The generators in this module produce parameterised
+workloads and matching streams for those sweeps:
+
+* :func:`chain_workload` creates queries whose patterns are contiguous slices
+  of a global chain of event types, which yields the rich overlap structure
+  (many sharable sub-patterns, many conflicts) the Sharon optimizer is
+  designed for.
+* :func:`chain_stream` creates a stream in which entities walk along that
+  chain, so the queries actually match and the executors have real work to
+  do.
+
+The named data set modules (:mod:`~repro.datasets.taxi`,
+:mod:`~repro.datasets.linear_road`, :mod:`~repro.datasets.ecommerce`) are
+thin domain-flavoured wrappers over the same machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..events.event import Event
+from ..events.stream import EventStream
+from ..events.windows import SlidingWindow
+from ..queries.aggregates import AggregateSpec
+from ..queries.pattern import Pattern
+from ..queries.predicates import PredicateSet
+from ..queries.query import Query
+from ..queries.workload import Workload
+
+__all__ = ["ChainConfig", "chain_event_types", "chain_workload", "chain_stream"]
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """Parameters of the synthetic chain domain.
+
+    Attributes
+    ----------
+    num_event_types:
+        Length of the global chain of event types ``T0, T1, ...``.
+    type_prefix:
+        Prefix of the generated type names.
+    entity_attribute:
+        Name of the attribute identifying the walking entity (vehicle,
+        customer, car ...); all queries carry the corresponding equivalence
+        predicate so matched sequences belong to one entity.
+    """
+
+    num_event_types: int = 20
+    type_prefix: str = "T"
+    entity_attribute: str = "entity"
+
+
+def chain_event_types(config: ChainConfig) -> tuple[str, ...]:
+    """The global ordered chain of event types ``T0 .. T{n-1}``."""
+    return tuple(f"{config.type_prefix}{i}" for i in range(config.num_event_types))
+
+
+def chain_workload(
+    num_queries: int,
+    pattern_length: int,
+    config: ChainConfig = ChainConfig(),
+    window: SlidingWindow | None = None,
+    seed: int = 7,
+    name: str = "chain-workload",
+    aggregate: AggregateSpec | None = None,
+    offset_pool_size: int | None = None,
+) -> Workload:
+    """A workload of ``num_queries`` queries with overlapping chain patterns.
+
+    Each query's pattern is a contiguous slice of the global chain starting
+    at a pseudo-random offset, so nearby queries share long sub-patterns
+    (mirroring the route structure of the traffic workload in Figure 1).
+
+    ``offset_pool_size`` restricts the starting offsets to a small random
+    pool; the smaller the pool, the more queries share identical slices and
+    the denser the sharing opportunities (used by the executor benchmarks to
+    reproduce the strongly shared regime of Figure 14).
+
+    Raises
+    ------
+    ValueError
+        If the requested pattern length exceeds the chain length.
+    """
+    if pattern_length < 2:
+        raise ValueError("pattern_length must be at least 2")
+    if pattern_length > config.num_event_types:
+        raise ValueError(
+            f"pattern_length {pattern_length} exceeds the chain length "
+            f"{config.num_event_types}; enlarge ChainConfig.num_event_types"
+        )
+    if window is None:
+        window = SlidingWindow(size=100, slide=50)
+    rng = random.Random(seed)
+    types = chain_event_types(config)
+    max_offset = config.num_event_types - pattern_length
+    predicates = PredicateSet.same(config.entity_attribute)
+    spec = aggregate if aggregate is not None else AggregateSpec.count_star()
+
+    if offset_pool_size is not None:
+        if offset_pool_size < 1:
+            raise ValueError("offset_pool_size must be positive")
+        pool = [rng.randint(0, max_offset) for _ in range(offset_pool_size)]
+    else:
+        pool = None
+
+    queries = []
+    for index in range(num_queries):
+        offset = rng.choice(pool) if pool is not None else rng.randint(0, max_offset)
+        pattern = Pattern(types[offset : offset + pattern_length])
+        queries.append(
+            Query(
+                pattern=pattern,
+                window=window,
+                aggregate=spec,
+                predicates=predicates,
+                name=f"q{index + 1}",
+            )
+        )
+    return Workload(queries, name=name)
+
+
+def chain_stream(
+    duration: int,
+    events_per_second: float,
+    config: ChainConfig = ChainConfig(),
+    num_entities: int = 10,
+    advance_probability: float = 0.8,
+    seed: int = 11,
+    name: str = "chain-stream",
+) -> EventStream:
+    """A stream of entities walking (mostly) forward along the chain.
+
+    Each time unit emits roughly ``events_per_second`` events.  An entity at
+    chain position ``i`` reports type ``T_i`` and then advances with
+    probability ``advance_probability`` (otherwise it re-reports the same
+    position or jumps back), wrapping around at the end of the chain.  The
+    walk structure guarantees that contiguous chain patterns actually match,
+    with longer patterns matching less often — just like trips across
+    consecutive street segments.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if events_per_second <= 0:
+        raise ValueError("events_per_second must be positive")
+    rng = random.Random(seed)
+    types = chain_event_types(config)
+    positions = {entity: rng.randrange(len(types)) for entity in range(num_entities)}
+
+    events: list[Event] = []
+    event_id = 0
+    for timestamp in range(duration):
+        arrivals = int(events_per_second)
+        if rng.random() < events_per_second - arrivals:
+            arrivals += 1
+        for _ in range(arrivals):
+            entity = rng.randrange(num_entities)
+            position = positions[entity]
+            events.append(
+                Event(
+                    types[position],
+                    timestamp,
+                    {config.entity_attribute: entity, "position": position},
+                    event_id,
+                )
+            )
+            event_id += 1
+            roll = rng.random()
+            if roll < advance_probability:
+                positions[entity] = (position + 1) % len(types)
+            elif roll < advance_probability + 0.1:
+                positions[entity] = rng.randrange(len(types))
+    return EventStream(events, name=name)

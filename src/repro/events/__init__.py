@@ -1,0 +1,21 @@
+"""Event model substrate: events, schemas, streams, and sliding windows."""
+
+from .event import Event, EventType
+from .schema import AttributeSpec, EventSchema, SchemaRegistry, SchemaValidationError
+from .stream import EventStream, StreamStatistics, interleave_by_timestamp, merge_streams
+from .windows import SlidingWindow, WindowInstance
+
+__all__ = [
+    "Event",
+    "EventType",
+    "AttributeSpec",
+    "EventSchema",
+    "SchemaRegistry",
+    "SchemaValidationError",
+    "EventStream",
+    "StreamStatistics",
+    "interleave_by_timestamp",
+    "merge_streams",
+    "SlidingWindow",
+    "WindowInstance",
+]

@@ -1,0 +1,149 @@
+"""Event type schemas.
+
+A schema describes the attributes (and their Python domains) carried by the
+events of one event type, mirroring the paper's statement that an event type
+is "described by a schema that specifies the set of event attributes and the
+domains of their values" (Section 2.1).
+
+Schemas are optional at runtime: executors never require them, but stream
+sources and dataset generators use them to validate the events they emit and
+to document the data sets (Taxi, Linear Road, E-commerce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .event import Event, EventType
+
+__all__ = ["AttributeSpec", "EventSchema", "SchemaRegistry", "SchemaValidationError"]
+
+
+class SchemaValidationError(ValueError):
+    """Raised when an event does not conform to its declared schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """Declaration of a single event attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name as it appears in :attr:`Event.attributes`.
+    domain:
+        Expected Python type (``int``, ``float``, ``str``...).  ``object``
+        accepts anything.
+    required:
+        Whether events of this type must carry the attribute.
+    """
+
+    name: str
+    domain: type = object
+    required: bool = True
+
+    def validate(self, value: Any) -> None:
+        if self.domain is object:
+            return
+        if not isinstance(value, self.domain):
+            raise SchemaValidationError(
+                f"attribute {self.name!r} expected {self.domain.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """Schema of one event type.
+
+    Examples
+    --------
+    >>> schema = EventSchema("MainSt", [AttributeSpec("vehicle", int)])
+    >>> schema.validate(Event("MainSt", 3, {"vehicle": 9}))
+    >>> schema.validate(Event("OakSt", 3, {"vehicle": 9}))
+    Traceback (most recent call last):
+        ...
+    repro.events.schema.SchemaValidationError: event type 'OakSt' does not match schema for 'MainSt'
+    """
+
+    event_type: EventType
+    attributes: tuple[AttributeSpec, ...] = ()
+
+    def __init__(self, event_type: EventType, attributes: "list[AttributeSpec] | tuple[AttributeSpec, ...]" = ()) -> None:
+        object.__setattr__(self, "event_type", event_type)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.attributes)
+
+    def spec(self, name: str) -> AttributeSpec:
+        for candidate in self.attributes:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"schema for {self.event_type!r} has no attribute {name!r}")
+
+    def validate(self, event: Event) -> None:
+        """Raise :class:`SchemaValidationError` if ``event`` violates this schema."""
+        if event.event_type != self.event_type:
+            raise SchemaValidationError(
+                f"event type {event.event_type!r} does not match schema for {self.event_type!r}"
+            )
+        for spec in self.attributes:
+            if spec.name not in event.attributes:
+                if spec.required:
+                    raise SchemaValidationError(
+                        f"event of type {self.event_type!r} misses required attribute {spec.name!r}"
+                    )
+                continue
+            spec.validate(event.attributes[spec.name])
+
+
+@dataclass
+class SchemaRegistry:
+    """A catalogue of :class:`EventSchema` keyed by event type.
+
+    Stream sources register the schemas of the types they produce; the
+    registry can then validate whole streams (used by dataset generator
+    tests).
+    """
+
+    _schemas: dict[EventType, EventSchema] = field(default_factory=dict)
+
+    def register(self, schema: EventSchema) -> None:
+        if schema.event_type in self._schemas:
+            raise ValueError(f"schema for {schema.event_type!r} already registered")
+        self._schemas[schema.event_type] = schema
+
+    def get(self, event_type: EventType) -> EventSchema | None:
+        return self._schemas.get(event_type)
+
+    def __contains__(self, event_type: EventType) -> bool:
+        return event_type in self._schemas
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def event_types(self) -> tuple[EventType, ...]:
+        return tuple(sorted(self._schemas))
+
+    def validate(self, event: Event, strict: bool = False) -> None:
+        """Validate one event against its registered schema.
+
+        Unknown event types are ignored unless ``strict`` is true.
+        """
+        schema = self._schemas.get(event.event_type)
+        if schema is None:
+            if strict:
+                raise SchemaValidationError(f"no schema registered for {event.event_type!r}")
+            return
+        schema.validate(event)
+
+    def validate_stream(self, events: "Mapping | list[Event] | tuple[Event, ...]", strict: bool = False) -> int:
+        """Validate an iterable of events, returning the number validated."""
+        count = 0
+        for event in events:
+            self.validate(event, strict=strict)
+            count += 1
+        return count

@@ -1,0 +1,206 @@
+"""Event stream abstractions.
+
+An :class:`EventStream` is an ordered, replayable sequence of
+:class:`~repro.events.event.Event` objects.  Executors consume streams event
+by event; dataset generators and tests build them from lists, generator
+functions, or by merging several per-type sub-streams.
+
+The class intentionally stores events in memory: the paper's evaluation
+replays bounded windows of real/synthetic data (hundreds of thousands of
+events), which comfortably fits the benchmark scales used here.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .event import Event, EventType
+
+__all__ = ["EventStream", "StreamStatistics", "merge_streams", "interleave_by_timestamp"]
+
+
+@dataclass(frozen=True)
+class StreamStatistics:
+    """Summary statistics of a stream used by the cost model and reports."""
+
+    total_events: int
+    duration: int
+    counts_per_type: dict[EventType, int]
+
+    @property
+    def overall_rate(self) -> float:
+        """Average number of events per time unit across all types."""
+        if self.duration <= 0:
+            return float(self.total_events)
+        return self.total_events / self.duration
+
+    def rate_of(self, event_type: EventType) -> float:
+        """Average number of events of ``event_type`` per time unit."""
+        if self.duration <= 0:
+            return float(self.counts_per_type.get(event_type, 0))
+        return self.counts_per_type.get(event_type, 0) / self.duration
+
+
+class EventStream:
+    """An in-memory, timestamp-ordered stream of events.
+
+    Parameters
+    ----------
+    events:
+        Any iterable of events.  They are sorted by ``(timestamp, event_id)``
+        so that replay order is deterministic.
+    name:
+        Optional label used in reports and benchmark output.
+    """
+
+    def __init__(self, events: Iterable[Event] = (), name: str = "stream") -> None:
+        self._events: list[Event] = sorted(events, key=lambda e: (e.timestamp, e.event_id))
+        self.name = name
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls,
+        rows: Iterable[tuple],
+        attribute_names: Sequence[str] = (),
+        name: str = "stream",
+    ) -> "EventStream":
+        """Build a stream from ``(type, timestamp, attr1, attr2, ...)`` tuples.
+
+        Examples
+        --------
+        >>> s = EventStream.from_tuples([("A", 1, 7), ("B", 2, 7)], ["vehicle"])
+        >>> len(s)
+        2
+        """
+        events = []
+        for event_id, row in enumerate(rows):
+            event_type, timestamp, *values = row
+            attributes = dict(zip(attribute_names, values))
+            events.append(Event(event_type, timestamp, attributes, event_id))
+        return cls(events, name=name)
+
+    def append(self, event: Event) -> None:
+        """Insert an event keeping timestamp order (used by generators)."""
+        position = bisect.bisect_right([e.timestamp for e in self._events], event.timestamp)
+        self._events.insert(position, event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        self._events = sorted(
+            list(self._events) + list(events), key=lambda e: (e.timestamp, e.event_id)
+        )
+
+    # -- views ---------------------------------------------------------------
+    def events(self) -> tuple[Event, ...]:
+        """Return the events as an immutable tuple."""
+        return tuple(self._events)
+
+    def between(self, start: int, end: int) -> "EventStream":
+        """Return the sub-stream with ``start <= timestamp < end``."""
+        subset = [e for e in self._events if start <= e.timestamp < end]
+        return EventStream(subset, name=f"{self.name}[{start}:{end}]")
+
+    def of_types(self, event_types: Iterable[EventType]) -> "EventStream":
+        """Return the sub-stream restricted to the given event types."""
+        wanted = set(event_types)
+        subset = [e for e in self._events if e.event_type in wanted]
+        return EventStream(subset, name=f"{self.name}|{'+'.join(sorted(wanted))}")
+
+    def sample(self, fraction: float, seed: int = 0) -> "EventStream":
+        """Return a random sub-stream containing roughly ``fraction`` of events."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = random.Random(seed)
+        subset = [e for e in self._events if rng.random() < fraction]
+        return EventStream(subset, name=f"{self.name}~{fraction}")
+
+    def event_types(self) -> tuple[EventType, ...]:
+        return tuple(sorted({e.event_type for e in self._events}))
+
+    # -- statistics ----------------------------------------------------------
+    @property
+    def start_time(self) -> int:
+        return self._events[0].timestamp if self._events else 0
+
+    @property
+    def end_time(self) -> int:
+        return self._events[-1].timestamp if self._events else 0
+
+    @property
+    def duration(self) -> int:
+        """Span of the stream in time units (at least 1 for non-empty streams)."""
+        if not self._events:
+            return 0
+        return max(1, self.end_time - self.start_time + 1)
+
+    def statistics(self) -> StreamStatistics:
+        counts = Counter(e.event_type for e in self._events)
+        return StreamStatistics(
+            total_events=len(self._events),
+            duration=self.duration,
+            counts_per_type=dict(counts),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventStream({self.name!r}, {len(self._events)} events)"
+
+
+def merge_streams(*streams: EventStream, name: str = "merged") -> EventStream:
+    """Merge several streams into one timestamp-ordered stream."""
+    events: list[Event] = []
+    for stream in streams:
+        events.extend(stream.events())
+    return EventStream(events, name=name)
+
+
+def interleave_by_timestamp(
+    producers: dict[EventType, Callable[[int], dict]],
+    rate_per_type: dict[EventType, float],
+    duration: int,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> EventStream:
+    """Generate a stream with Poisson-like arrivals per event type.
+
+    Parameters
+    ----------
+    producers:
+        Maps an event type to a callable producing the attribute dict for a
+        given timestamp.
+    rate_per_type:
+        Expected number of events per time unit for each type.
+    duration:
+        Number of time units to simulate (timestamps ``0..duration-1``).
+    seed:
+        Seed of the pseudo-random generator (deterministic streams).
+    """
+    rng = random.Random(seed)
+    events: list[Event] = []
+    event_id = 0
+    for timestamp in range(duration):
+        for event_type, rate in rate_per_type.items():
+            arrivals = int(rate)
+            if rng.random() < (rate - arrivals):
+                arrivals += 1
+            for _ in range(arrivals):
+                attributes = producers[event_type](timestamp) if event_type in producers else {}
+                events.append(Event(event_type, timestamp, attributes, event_id))
+                event_id += 1
+    return EventStream(events, name=name)

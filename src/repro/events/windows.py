@@ -1,0 +1,117 @@
+"""Sliding window semantics (WITHIN / SLIDE clauses).
+
+A query window is defined by its length ``size`` (WITHIN) and its ``slide``
+(SLIDE).  Window instances start at multiples of ``slide``: the ``k``-th
+instance covers the half-open interval ``[k * slide, k * slide + size)``.
+A complete event sequence belongs to a window instance if *all* of its events
+fall inside the interval; because matched events are time-ordered it suffices
+that the START and END events do (a fact the paper's expiration technique
+relies on, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["SlidingWindow", "WindowInstance"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class WindowInstance:
+    """One concrete window: the half-open time interval ``[start, end)``."""
+
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, timestamp: int) -> bool:
+        return self.start <= timestamp < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start},{self.end})"
+
+
+@dataclass(frozen=True, slots=True)
+class SlidingWindow:
+    """A sliding window specification.
+
+    Parameters
+    ----------
+    size:
+        Window length (WITHIN clause), in stream time units.
+    slide:
+        Slide step (SLIDE clause).  ``slide == size`` yields tumbling windows.
+    """
+
+    size: int
+    slide: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if self.slide <= 0:
+            raise ValueError(f"window slide must be positive, got {self.slide}")
+        if self.slide > self.size:
+            raise ValueError(
+                f"window slide ({self.slide}) larger than size ({self.size}) would drop events"
+            )
+
+    @property
+    def is_tumbling(self) -> bool:
+        return self.size == self.slide
+
+    @property
+    def max_overlap(self) -> int:
+        """Maximum number of window instances a single timestamp belongs to."""
+        return -(-self.size // self.slide)  # ceil division
+
+    def instances_containing(self, timestamp: int) -> list[WindowInstance]:
+        """All window instances whose interval contains ``timestamp``.
+
+        Examples
+        --------
+        >>> SlidingWindow(size=4, slide=1).instances_containing(2)
+        [[0,4), [1,5), [2,6)]
+        """
+        if timestamp < 0:
+            raise ValueError("timestamps are non-negative")
+        last_start = (timestamp // self.slide) * self.slide
+        instances = []
+        start = last_start
+        while start >= 0 and start + self.size > timestamp:
+            instances.append(WindowInstance(start, start + self.size))
+            start -= self.slide
+        instances.reverse()
+        return instances
+
+    def instance_starting_at(self, start: int) -> WindowInstance:
+        if start % self.slide != 0:
+            raise ValueError(f"window instances start at multiples of slide={self.slide}")
+        return WindowInstance(start, start + self.size)
+
+    def instances_between(self, start_time: int, end_time: int) -> Iterator[WindowInstance]:
+        """Yield all window instances overlapping ``[start_time, end_time]``."""
+        if end_time < start_time:
+            return
+        first_start = max(0, ((start_time - self.size) // self.slide + 1) * self.slide)
+        start = first_start
+        while start <= end_time:
+            yield WindowInstance(start, start + self.size)
+            start += self.slide
+
+    def covers_span(self, start_ts: int, end_ts: int) -> list[WindowInstance]:
+        """Window instances containing the whole span ``[start_ts, end_ts]``.
+
+        Used to assign a complete sequence (identified by its START and END
+        timestamps) to the windows it belongs to.
+        """
+        if end_ts < start_ts:
+            raise ValueError("end_ts must be >= start_ts")
+        return [w for w in self.instances_containing(start_ts) if w.contains(end_ts)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SlidingWindow(WITHIN {self.size} SLIDE {self.slide})"

@@ -1,0 +1,43 @@
+"""Runtime executors: online shared (Sharon), online non-shared (A-Seq), and
+two-step baselines (Flink-like, SPASS-like)."""
+
+from .aseq import ASeqExecutor
+from .chained import QueryChainState, SharedSegmentRunner
+from .engine import CompiledWorkload, ExecutionReport, StreamingEngine, WindowGroupScope
+from .metrics import MetricsCollector, RunMetrics
+from .prefix_agg import PrivateSegmentState, SharedAnchor, SharedSegmentState
+from .results import QueryResult, ResultSet
+from .sequences import (
+    count_pattern_matches,
+    enumerate_pattern_matches,
+    enumerate_query_matches,
+    join_sequences,
+)
+from .shared import SharonExecutor, run_workload
+from .twostep import FlinkLikeExecutor, SpassLikeExecutor, TwoStepBudgetExceeded
+
+__all__ = [
+    "ASeqExecutor",
+    "QueryChainState",
+    "SharedSegmentRunner",
+    "CompiledWorkload",
+    "ExecutionReport",
+    "StreamingEngine",
+    "WindowGroupScope",
+    "MetricsCollector",
+    "RunMetrics",
+    "PrivateSegmentState",
+    "SharedAnchor",
+    "SharedSegmentState",
+    "QueryResult",
+    "ResultSet",
+    "count_pattern_matches",
+    "enumerate_pattern_matches",
+    "enumerate_query_matches",
+    "join_sequences",
+    "SharonExecutor",
+    "run_workload",
+    "FlinkLikeExecutor",
+    "SpassLikeExecutor",
+    "TwoStepBudgetExceeded",
+]

@@ -1,0 +1,52 @@
+"""A-Seq: the non-shared online baseline (Section 3.2, [24]).
+
+A-Seq aggregates event sequences online — no sequence is ever constructed —
+but evaluates every query independently of the others, repeating the work for
+patterns that several queries have in common.  In this library it is the
+:class:`~repro.executor.engine.StreamingEngine` run with an *empty* sharing
+plan: each query keeps one private prefix-aggregation state spanning its
+whole pattern, which is exactly the per-query count maintenance of
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.plan import SharingPlan
+from ..events.event import Event
+from ..events.stream import EventStream
+from ..queries.workload import Workload
+from .engine import ExecutionReport, StreamingEngine
+
+__all__ = ["ASeqExecutor"]
+
+
+class ASeqExecutor:
+    """Online, non-shared event sequence aggregation.
+
+    Parameters
+    ----------
+    workload:
+        The queries to evaluate.  Must be uniform (same window, predicates,
+        and grouping) like all executors in this library; non-uniform
+        workloads should be segmented per context first (Section 7.2).
+    memory_sample_interval:
+        How often (in finalized windows) to sample peak memory; ``0``
+        disables sampling for maximum throughput.
+    """
+
+    name = "A-Seq"
+
+    def __init__(self, workload: Workload, memory_sample_interval: int = 0) -> None:
+        self.workload = workload
+        self._engine = StreamingEngine(
+            workload,
+            plan=SharingPlan(),
+            name=self.name,
+            memory_sample_interval=memory_sample_interval,
+        )
+
+    def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
+        """Evaluate the workload over ``stream`` and return results + metrics."""
+        return self._engine.run(stream)

@@ -1,0 +1,151 @@
+"""Chained per-query aggregation over a sharing plan (Section 3.3).
+
+Under a sharing plan each query's pattern is decomposed into segments
+(:class:`~repro.core.plan.QueryDecomposition`).  At runtime the query becomes
+a *chain* of segment runners evaluated in stream order:
+
+* a private segment runs its own flat prefix aggregation
+  (:class:`~repro.executor.prefix_agg.PrivateSegmentState`), seeding its first
+  position from the chain value of the upstream segments;
+* a shared segment is backed by a scope-wide
+  :class:`~repro.executor.prefix_agg.SharedSegmentState` computed once for all
+  sharing queries; the per-query :class:`SharedSegmentRunner` merely records,
+  for every anchor (START event of the shared pattern), the upstream chain
+  value at the anchor's arrival time and combines it with the anchor's
+  completed aggregates on demand — the count-combination step of the Shared
+  method (Figure 7, Example 3).
+
+The chain value after the last segment is the query's aggregate for the
+scope.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.plan import QueryDecomposition
+from ..events.event import Event
+from ..queries.aggregates import AggregateSpec, AggregateState
+from ..queries.query import Query
+from .prefix_agg import CarryProvider, PrivateSegmentState, SharedSegmentState
+
+__all__ = ["SharedSegmentRunner", "QueryChainState"]
+
+
+class SharedSegmentRunner:
+    """Per-query combination of a shared segment's anchored aggregates."""
+
+    __slots__ = ("shared", "spec", "carries", "_staged_carries", "combinations")
+
+    def __init__(self, shared: SharedSegmentState, spec: AggregateSpec) -> None:
+        if spec not in shared.specs:
+            raise ValueError(f"shared segment {shared.pattern!r} does not track {spec!r}")
+        self.shared = shared
+        self.spec = spec
+        #: Upstream chain value snapshot per anchor, parallel to ``shared.anchors``.
+        self.carries: list[AggregateState] = []
+        self._staged_carries: list[AggregateState] = []
+        #: Number of carry × anchor combinations performed (cost accounting).
+        self.combinations = 0
+
+    def stage_batch(self, events: Sequence[Event], carry: CarryProvider) -> None:
+        """Record upstream snapshots for anchors created in this batch.
+
+        The shared state must have been staged for the same batch already;
+        the upstream carry is evaluated lazily (and only once) because the
+        batch may create several anchors.
+        """
+        new_anchor_count = len(self.shared.staged_new_anchors)
+        if new_anchor_count == 0:
+            self._staged_carries = []
+            return
+        snapshot = carry()
+        self._staged_carries = [snapshot] * new_anchor_count
+
+    def commit(self) -> None:
+        if self._staged_carries:
+            self.carries.extend(self._staged_carries)
+            self._staged_carries = []
+
+    def chain_value(self) -> AggregateState:
+        """Aggregate over completed matches of the chain up to this segment."""
+        total = AggregateState.zero()
+        for anchor, carry in zip(self.shared.anchors, self.carries):
+            if carry.is_zero:
+                continue
+            completed = anchor.completed(self.spec)
+            if completed.is_zero:
+                continue
+            total = total.merge(carry.combine(completed))
+            self.combinations += 1
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedSegmentRunner({self.shared.pattern!r}, anchors={len(self.carries)})"
+
+
+#: A chain runner is either a private state or a shared runner.
+ChainRunner = "PrivateSegmentState | SharedSegmentRunner"
+
+
+class QueryChainState:
+    """The full evaluation chain of one query inside one scope."""
+
+    __slots__ = ("query", "runners")
+
+    def __init__(
+        self,
+        query: Query,
+        decomposition: QueryDecomposition,
+        shared_states: dict,
+    ) -> None:
+        self.query = query
+        self.runners: list = []
+        for segment in decomposition.segments:
+            if segment.is_shared:
+                shared_state = shared_states[segment.pattern]
+                self.runners.append(SharedSegmentRunner(shared_state, query.aggregate))
+            else:
+                self.runners.append(PrivateSegmentState(segment.pattern, query.aggregate))
+
+    def _carry_provider(self, index: int) -> CarryProvider:
+        if index == 0:
+            return AggregateState.unit
+        upstream = self.runners[index - 1]
+        return upstream.chain_value
+
+    def stage_batch(self, events: Sequence[Event]) -> None:
+        """Stage one same-timestamp batch through every segment runner.
+
+        All carry reads observe committed (pre-batch) upstream values, so the
+        chain never links events sharing a timestamp.
+        """
+        for index, runner in enumerate(self.runners):
+            carry = self._carry_provider(index)
+            if isinstance(runner, PrivateSegmentState):
+                runner.stage_batch(events, carry)
+            else:
+                runner.stage_batch(events, carry)
+
+    def commit(self) -> None:
+        for runner in self.runners:
+            runner.commit()
+
+    def final_state(self) -> AggregateState:
+        """The aggregate state over complete matches of the whole query pattern."""
+        return self.runners[-1].chain_value()
+
+    def final_value(self):
+        """The query's result value for this scope (RETURN clause applied)."""
+        return self.query.aggregate.finalize(self.final_state())
+
+    @property
+    def update_count(self) -> int:
+        """Total number of private-segment aggregate updates (cost accounting)."""
+        return sum(r.updates for r in self.runners if isinstance(r, PrivateSegmentState))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = [
+            "shared" if isinstance(r, SharedSegmentRunner) else "private" for r in self.runners
+        ]
+        return f"QueryChainState({self.query.name}: {' -> '.join(kinds)})"

@@ -1,0 +1,262 @@
+"""The shared-online streaming engine (Runtime Executor of Figure 5).
+
+The engine replays an event stream against a *uniform* workload (all queries
+agree on window, predicates, and grouping — the paper's core assumption) and
+a sharing plan.  For every active window instance and group it keeps one
+:class:`WindowGroupScope` holding
+
+* one :class:`~repro.executor.prefix_agg.SharedSegmentState` per shared
+  pattern of the plan — computed once for all sharing queries, and
+* one :class:`~repro.executor.chained.QueryChainState` per query — its
+  private segments plus the per-query combination of shared aggregates.
+
+Events are processed in timestamp batches (events sharing a timestamp never
+chain with each other); windows are finalized as soon as the stream time
+passes their end, emitting one result per query and group.
+
+Running the engine with an *empty* plan degenerates to the Non-Shared method:
+each query keeps a single private segment spanning its whole pattern, which
+is exactly A-Seq's per-query online aggregation.  The executors in
+``aseq.py`` and ``shared.py`` are thin wrappers configuring this engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.plan import QueryDecomposition, SharingPlan
+from ..events.event import Event
+from ..events.stream import EventStream
+from ..events.windows import SlidingWindow, WindowInstance
+from ..queries.aggregates import AggregateSpec
+from ..queries.pattern import Pattern
+from ..queries.predicates import PredicateSet
+from ..queries.query import Query
+from ..queries.workload import Workload
+from .chained import QueryChainState
+from .metrics import MetricsCollector, RunMetrics
+from .prefix_agg import SharedSegmentState
+from .results import QueryResult, ResultSet
+
+__all__ = ["ExecutionReport", "CompiledWorkload", "WindowGroupScope", "StreamingEngine"]
+
+
+@dataclass
+class ExecutionReport:
+    """Everything an executor run produces: results, metrics, and the plan used."""
+
+    results: ResultSet
+    metrics: RunMetrics
+    plan: SharingPlan | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExecutionReport({self.metrics.summary()})"
+
+
+class CompiledWorkload:
+    """Pre-computed execution structure of a workload under a sharing plan."""
+
+    def __init__(self, workload: Workload, plan: SharingPlan | None = None) -> None:
+        if len(workload) == 0:
+            raise ValueError("cannot execute an empty workload")
+        if not workload.is_uniform():
+            raise ValueError(
+                "the shared online engine requires a uniform workload "
+                "(same window, predicates, and grouping for every query); "
+                "segment the stream per context first (Section 7.2)"
+            )
+        self.workload = workload
+        self.plan = plan if plan is not None else SharingPlan()
+        reference: Query = workload[0]
+        self.window: SlidingWindow = reference.window
+        self.predicates: PredicateSet = reference.predicates
+        self.partition_attributes: tuple[str, ...] = reference.partition_attributes
+
+        self.decompositions: Mapping[str, QueryDecomposition] = self.plan.decompose(workload)
+        self.relevant_types: frozenset[str] = frozenset(
+            event_type for query in workload for event_type in query.pattern.event_types
+        )
+        #: Aggregate specs to track per shared pattern (union over sharing queries).
+        self.shared_specs: dict[Pattern, tuple[AggregateSpec, ...]] = {}
+        for query in workload:
+            for segment in self.decompositions[query.name].shared_segments:
+                existing = self.shared_specs.get(segment.pattern, ())
+                if query.aggregate not in existing:
+                    self.shared_specs[segment.pattern] = existing + (query.aggregate,)
+
+    def group_key(self, event: Event) -> tuple:
+        return tuple(event.attribute(attr) for attr in self.partition_attributes)
+
+    def is_relevant(self, event: Event) -> bool:
+        return event.event_type in self.relevant_types and self.predicates.accepts(event)
+
+
+class WindowGroupScope:
+    """Aggregation state of one window instance × group combination."""
+
+    __slots__ = ("window", "group", "shared_states", "chains")
+
+    def __init__(self, compiled: CompiledWorkload, window: WindowInstance, group: tuple) -> None:
+        self.window = window
+        self.group = group
+        self.shared_states: dict[Pattern, SharedSegmentState] = {
+            pattern: SharedSegmentState(pattern, specs)
+            for pattern, specs in compiled.shared_specs.items()
+        }
+        self.chains: dict[str, QueryChainState] = {
+            query.name: QueryChainState(
+                query, compiled.decompositions[query.name], self.shared_states
+            )
+            for query in compiled.workload
+        }
+
+    def process_batch(self, events: list[Event]) -> None:
+        """Process one batch of equal-timestamp events through all states."""
+        for shared_state in self.shared_states.values():
+            shared_state.stage_batch(events)
+        for chain in self.chains.values():
+            chain.stage_batch(events)
+        for shared_state in self.shared_states.values():
+            shared_state.commit()
+        for chain in self.chains.values():
+            chain.commit()
+
+    def finalize(self) -> list[QueryResult]:
+        """Emit one result per query for this scope."""
+        return [
+            QueryResult(name, self.window, self.group, chain.final_value())
+            for name, chain in self.chains.items()
+        ]
+
+    @property
+    def update_count(self) -> int:
+        shared = sum(state.updates for state in self.shared_states.values())
+        private = sum(chain.update_count for chain in self.chains.values())
+        return shared + private
+
+
+class StreamingEngine:
+    """Replays a stream against a compiled workload and collects results.
+
+    The engine supports *plan migration* (Section 7.4): :meth:`set_plan`
+    swaps the sharing plan between timestamp batches.  Scopes that are
+    already open keep the decomposition they were created with and finish
+    under it, so no partial aggregation state is lost; only scopes created
+    afterwards follow the new plan.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        plan: SharingPlan | None = None,
+        name: str = "sharon",
+        memory_sample_interval: int = 0,
+    ) -> None:
+        self.workload = workload
+        self.compiled = CompiledWorkload(workload, plan)
+        self.name = name
+        self.memory_sample_interval = memory_sample_interval
+
+    def set_plan(self, plan: SharingPlan) -> None:
+        """Switch to ``plan`` for scopes created from now on (plan migration)."""
+        self.compiled = CompiledWorkload(self.workload, plan)
+
+    def run(
+        self,
+        stream: "EventStream | Iterable[Event]",
+        on_batch=None,
+    ) -> ExecutionReport:
+        """Process the whole stream and return results plus metrics.
+
+        Parameters
+        ----------
+        stream:
+            The events to replay (any iterable; sorted by timestamp).
+        on_batch:
+            Optional callback ``on_batch(timestamp, batch_events)`` invoked
+            after each timestamp batch has been processed — the hook used by
+            the adaptive executor to monitor rates and trigger plan
+            migration.  Time spent in the callback is excluded from the
+            executor metrics.
+        """
+        collector = MetricsCollector(
+            executor_name=self.name, memory_sample_interval=self.memory_sample_interval
+        )
+        results = ResultSet()
+        #: Active scopes: window instance -> group key -> scope.
+        scopes: dict[WindowInstance, dict[tuple, WindowGroupScope]] = {}
+
+        events = stream.events() if isinstance(stream, EventStream) else tuple(stream)
+        collector.start()
+
+        index = 0
+        total = len(events)
+        while index < total:
+            timestamp = events[index].timestamp
+            batch_end = index
+            while batch_end < total and events[batch_end].timestamp == timestamp:
+                batch_end += 1
+            batch = events[index:batch_end]
+            index = batch_end
+
+            self._finalize_expired(scopes, timestamp, results, collector)
+
+            compiled = self.compiled
+            #: Per-scope sub-batches of relevant events.
+            routed: dict[tuple[WindowInstance, tuple], list[Event]] = {}
+            for event in batch:
+                relevant = compiled.is_relevant(event)
+                collector.count_event(relevant)
+                if not relevant:
+                    continue
+                group = compiled.group_key(event)
+                for window in compiled.window.instances_containing(event.timestamp):
+                    routed.setdefault((window, group), []).append(event)
+
+            for (window, group), scope_events in routed.items():
+                group_scopes = scopes.setdefault(window, {})
+                scope = group_scopes.get(group)
+                if scope is None:
+                    scope = WindowGroupScope(compiled, window, group)
+                    group_scopes[group] = scope
+                scope.process_batch(scope_events)
+
+            if on_batch is not None:
+                collector.stop()
+                on_batch(timestamp, batch)
+                collector.start()
+
+        self._finalize_expired(scopes, None, results, collector)
+        metrics = collector.finish()
+        return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
+
+    # -- internal helpers --------------------------------------------------------
+    def _finalize_expired(
+        self,
+        scopes: dict[WindowInstance, dict[tuple, WindowGroupScope]],
+        current_timestamp: int | None,
+        results: ResultSet,
+        collector: MetricsCollector,
+    ) -> None:
+        """Finalize every scope whose window ended before ``current_timestamp``.
+
+        ``None`` finalizes everything (end of stream).  Memory is sampled just
+        before finalization, when the engine's state is at its largest.
+        """
+        expired = [
+            window
+            for window in scopes
+            if current_timestamp is None or window.end <= current_timestamp
+        ]
+        if not expired:
+            return
+        collector.maybe_sample_memory(scopes)
+        for window in sorted(expired):
+            for scope in scopes[window].values():
+                emitted = scope.finalize()
+                for result in emitted:
+                    results.add(result)
+                collector.count_window(len(emitted))
+                collector.state_updates += scope.update_count
+            del scopes[window]

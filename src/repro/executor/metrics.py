@@ -1,0 +1,135 @@
+"""Runtime metrics: latency, throughput, and peak memory (Section 8.1).
+
+The paper reports three metrics for executors:
+
+* **Latency** — average time between result output and the arrival of the
+  latest contributing event.  In a replay setting (no wall-clock arrival
+  times) the equivalent observable is the processing time spent per window,
+  which is what :attr:`RunMetrics.avg_latency_ms` reports.
+* **Throughput** — events processed per second across all queries.
+* **Peak memory** — the maximum footprint of aggregates, stored events, and
+  constructed sequences, approximated via
+  :func:`~repro.utils.memory.deep_sizeof`.
+
+A :class:`MetricsCollector` is threaded through every executor so that all of
+them are measured identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..utils.memory import PeakMemoryTracker
+
+__all__ = ["RunMetrics", "MetricsCollector"]
+
+
+@dataclass
+class RunMetrics:
+    """Immutable summary of one executor run."""
+
+    executor_name: str
+    total_events: int = 0
+    relevant_events: int = 0
+    elapsed_seconds: float = 0.0
+    windows_finalized: int = 0
+    results_emitted: int = 0
+    peak_memory_bytes: int = 0
+    state_updates: int = 0
+
+    @property
+    def throughput_events_per_second(self) -> float:
+        """Events processed per second of executor time."""
+        if self.elapsed_seconds <= 0:
+            return float(self.total_events)
+        return self.total_events / self.elapsed_seconds
+
+    @property
+    def avg_latency_ms(self) -> float:
+        """Average processing time attributable to one window, in milliseconds."""
+        windows = max(self.windows_finalized, 1)
+        return self.elapsed_seconds / windows * 1000.0
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.elapsed_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable report (used by examples and benchmarks)."""
+        return (
+            f"{self.executor_name}: {self.total_events} events in "
+            f"{self.elapsed_seconds * 1000:.1f} ms "
+            f"({self.throughput_events_per_second:,.0f} ev/s, "
+            f"{self.avg_latency_ms:.2f} ms/window, "
+            f"peak {self.peak_memory_bytes / 1024:.1f} KiB, "
+            f"{self.results_emitted} results)"
+        )
+
+
+@dataclass
+class MetricsCollector:
+    """Mutable counters populated while an executor runs."""
+
+    executor_name: str
+    memory_sample_interval: int = 1
+    total_events: int = 0
+    relevant_events: int = 0
+    windows_finalized: int = 0
+    results_emitted: int = 0
+    state_updates: int = 0
+    _memory: PeakMemoryTracker = field(default_factory=PeakMemoryTracker)
+    _started_at: float | None = None
+    _elapsed: float = 0.0
+    _finalizations_seen: int = 0
+
+    # -- timing ----------------------------------------------------------------
+    def start(self) -> None:
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._started_at is None:
+            return
+        self._elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+
+    # -- counters ---------------------------------------------------------------
+    def count_event(self, relevant: bool) -> None:
+        self.total_events += 1
+        if relevant:
+            self.relevant_events += 1
+
+    def count_window(self, results: int) -> None:
+        self.windows_finalized += 1
+        self.results_emitted += results
+
+    def maybe_sample_memory(self, *objects) -> None:
+        """Sample memory at (a subset of) window finalizations.
+
+        Sampling every window is exact but expensive for large runs; the
+        interval lets benchmarks trade accuracy for speed.  An interval of 0
+        disables sampling entirely.
+        """
+        if self.memory_sample_interval <= 0:
+            return
+        self._finalizations_seen += 1
+        if self._finalizations_seen % self.memory_sample_interval:
+            return
+        self._memory.sample(*objects)
+
+    def record_memory_bytes(self, nbytes: int) -> None:
+        self._memory.record(nbytes)
+
+    # -- reporting ---------------------------------------------------------------
+    def finish(self) -> RunMetrics:
+        self.stop()
+        return RunMetrics(
+            executor_name=self.executor_name,
+            total_events=self.total_events,
+            relevant_events=self.relevant_events,
+            elapsed_seconds=self._elapsed,
+            windows_finalized=self.windows_finalized,
+            results_emitted=self.results_emitted,
+            peak_memory_bytes=self._memory.peak_bytes,
+            state_updates=self.state_updates,
+        )

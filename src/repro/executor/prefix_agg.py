@@ -1,0 +1,203 @@
+"""Online prefix aggregation — the A-Seq building block (Section 3.2).
+
+The Non-Shared method maintains, for a pattern ``(E1 ... El)``, one aggregate
+per prefix ``(E1 ... Ej)``.  When an event of type ``Ej`` arrives, the
+aggregate of prefix ``j`` absorbs the aggregate of prefix ``j-1`` extended by
+the new event (Figure 6(a)); matched sequences are never constructed.
+
+Two state classes implement this recurrence inside one *scope* (one window
+instance × one group):
+
+* :class:`PrivateSegmentState` — the flat per-query variant.  The first
+  position reads a *carry* value from the upstream part of the query's chain
+  (the neutral "one empty sequence" for the query's first segment), which is
+  how a query's private prefix/suffix segments are stitched to shared
+  segments.
+* :class:`SharedSegmentState` — the anchored variant used for shared
+  patterns.  Aggregates are maintained per START event ("anchor") of the
+  shared pattern so that each query can later combine them with its own
+  prefix aggregates (Section 3.3, Figure 7) — the shared pattern itself is
+  processed exactly once for all sharing queries.
+
+Both classes use two-phase *stage/commit* batch processing: all reads of a
+batch observe the state before the batch, so events carrying the same
+timestamp can never chain with each other (sequence semantics require
+strictly increasing timestamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..events.event import Event
+from ..queries.aggregates import AggregateSpec, AggregateState
+from ..queries.pattern import Pattern
+
+__all__ = ["PrivateSegmentState", "SharedSegmentState", "SharedAnchor", "positions_by_type"]
+
+#: A carry provider returns the aggregate of the chain upstream of a segment,
+#: as of the beginning of the current batch.
+CarryProvider = Callable[[], AggregateState]
+
+
+def positions_by_type(pattern: Pattern) -> dict[str, tuple[int, ...]]:
+    """Map each event type to the (0-based) positions it occupies in ``pattern``."""
+    positions: dict[str, list[int]] = {}
+    for index, event_type in enumerate(pattern.event_types):
+        positions.setdefault(event_type, []).append(index)
+    return {event_type: tuple(indexes) for event_type, indexes in positions.items()}
+
+
+class PrivateSegmentState:
+    """Flat prefix aggregation of one private segment of one query."""
+
+    __slots__ = ("pattern", "spec", "_positions", "states", "_staged", "updates")
+
+    def __init__(self, pattern: Pattern, spec: AggregateSpec) -> None:
+        self.pattern = pattern
+        self.spec = spec
+        self._positions = positions_by_type(pattern)
+        self.states: list[AggregateState] = [AggregateState.zero()] * len(pattern)
+        self._staged: list[AggregateState] | None = None
+        #: Number of aggregate updates applied (used by cost/throughput reports).
+        self.updates = 0
+
+    def stage_batch(self, events: Sequence[Event], carry: CarryProvider) -> None:
+        """Compute this batch's additions against the pre-batch state."""
+        additions = [AggregateState.zero()] * len(self.states)
+        carry_value: AggregateState | None = None
+        for event in events:
+            for position in self._positions.get(event.event_type, ()):
+                if position == 0:
+                    if carry_value is None:
+                        carry_value = carry()
+                    base = carry_value
+                else:
+                    base = self.states[position - 1]
+                if base.is_zero:
+                    continue
+                additions[position] = additions[position].merge(base.extend(event, self.spec))
+                self.updates += 1
+        self._staged = additions
+
+    def commit(self) -> None:
+        if self._staged is None:
+            return
+        self.states = [
+            state.merge(addition) for state, addition in zip(self.states, self._staged)
+        ]
+        self._staged = None
+
+    def chain_value(self) -> AggregateState:
+        """Aggregate over completed matches of the chain up to this segment."""
+        return self.states[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrivateSegmentState({self.pattern!r}, value={self.states[-1].count})"
+
+
+@dataclass
+class SharedAnchor:
+    """Per-START-event aggregates of a shared pattern.
+
+    ``states[spec][j]`` aggregates the matches of the shared pattern's prefix
+    of length ``j+1`` that start exactly at this anchor's event.
+    """
+
+    start_event: Event
+    states: dict[AggregateSpec, list[AggregateState]] = field(default_factory=dict)
+
+    def completed(self, spec: AggregateSpec) -> AggregateState:
+        """Aggregate over complete matches of the shared pattern at this anchor."""
+        return self.states[spec][-1]
+
+
+class SharedSegmentState:
+    """Anchored prefix aggregation of one shared pattern inside one scope.
+
+    The state is maintained once per scope regardless of how many queries
+    share the pattern; per-query combination is performed by
+    :class:`~repro.executor.chained.SharedSegmentRunner`.
+
+    Parameters
+    ----------
+    pattern:
+        The shared pattern ``p`` (length >= 2 by Definition 3).
+    specs:
+        The distinct aggregate specifications of the sharing queries; one
+        aggregate family is tracked per spec (a single family when the whole
+        workload uses COUNT(*), the common case in the paper).
+    """
+
+    __slots__ = ("pattern", "specs", "_positions", "anchors", "staged_new_anchors", "_staged", "updates")
+
+    def __init__(self, pattern: Pattern, specs: Iterable[AggregateSpec]) -> None:
+        self.pattern = pattern
+        self.specs = tuple(dict.fromkeys(specs))
+        if not self.specs:
+            raise ValueError("a shared segment needs at least one aggregate spec")
+        self._positions = positions_by_type(pattern)
+        self.anchors: list[SharedAnchor] = []
+        self.staged_new_anchors: list[SharedAnchor] = []
+        self._staged: list[dict[AggregateSpec, list[AggregateState]]] | None = None
+        self.updates = 0
+
+    def handles(self, event: Event) -> bool:
+        return event.event_type in self._positions
+
+    def stage_batch(self, events: Sequence[Event]) -> None:
+        """Stage anchor creations and extensions for one same-timestamp batch."""
+        length = len(self.pattern)
+        additions: list[dict[AggregateSpec, list[AggregateState]]] = [
+            {} for _ in self.anchors
+        ]
+        new_anchors: list[SharedAnchor] = []
+        for event in events:
+            for position in self._positions.get(event.event_type, ()):
+                if position == 0:
+                    anchor = SharedAnchor(event)
+                    for spec in self.specs:
+                        states = [AggregateState.zero()] * length
+                        states[0] = AggregateState.unit().extend(event, spec)
+                        anchor.states[spec] = states
+                    new_anchors.append(anchor)
+                    self.updates += 1
+                    continue
+                for anchor_index, anchor in enumerate(self.anchors):
+                    for spec in self.specs:
+                        base = anchor.states[spec][position - 1]
+                        if base.is_zero:
+                            continue
+                        spec_additions = additions[anchor_index].setdefault(
+                            spec, [AggregateState.zero()] * length
+                        )
+                        spec_additions[position] = spec_additions[position].merge(
+                            base.extend(event, spec)
+                        )
+                        self.updates += 1
+        self.staged_new_anchors = new_anchors
+        self._staged = additions
+
+    def commit(self) -> None:
+        if self._staged is not None:
+            for anchor, spec_additions in zip(self.anchors, self._staged):
+                for spec, additions in spec_additions.items():
+                    anchor.states[spec] = [
+                        state.merge(addition)
+                        for state, addition in zip(anchor.states[spec], additions)
+                    ]
+            self._staged = None
+        if self.staged_new_anchors:
+            self.anchors.extend(self.staged_new_anchors)
+            self.staged_new_anchors = []
+
+    def total_completed(self, spec: AggregateSpec) -> AggregateState:
+        """Aggregate over all complete matches of the shared pattern so far."""
+        total = AggregateState.zero()
+        for anchor in self.anchors:
+            total = total.merge(anchor.completed(spec))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedSegmentState({self.pattern!r}, anchors={len(self.anchors)})"

@@ -1,0 +1,130 @@
+"""Query results produced by the executors.
+
+Every executor — online or two-step, shared or not — emits one
+:class:`QueryResult` per query, window instance, and group that produced at
+least one relevant event.  A :class:`ResultSet` collects them and offers the
+lookups and equivalence checks the test suite relies on when cross-validating
+executors against each other and against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from ..events.windows import WindowInstance
+
+__all__ = ["QueryResult", "ResultSet"]
+
+#: Key identifying one result: (query name, window instance, group key).
+ResultKey = tuple[str, WindowInstance, tuple]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One aggregation result (RETURN value per query, group, and window)."""
+
+    query_name: str
+    window: WindowInstance
+    group: tuple
+    value: object
+
+    @property
+    def key(self) -> ResultKey:
+        return (self.query_name, self.window, self.group)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        group = "" if not self.group else f" group={self.group}"
+        return f"{self.query_name}@{self.window}{group}: {self.value}"
+
+
+class ResultSet:
+    """A collection of query results indexed by (query, window, group)."""
+
+    def __init__(self, results: Iterable[QueryResult] = ()) -> None:
+        self._by_key: dict[ResultKey, QueryResult] = {}
+        for result in results:
+            self.add(result)
+
+    def add(self, result: QueryResult) -> None:
+        self._by_key[result.key] = result
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: ResultKey) -> bool:
+        return key in self._by_key
+
+    def get(self, query_name: str, window: WindowInstance, group: tuple = ()) -> QueryResult | None:
+        return self._by_key.get((query_name, window, group))
+
+    def value(self, query_name: str, window: WindowInstance, group: tuple = (), default=0):
+        """The result value, or ``default`` when no result was produced."""
+        result = self._by_key.get((query_name, window, group))
+        return default if result is None else result.value
+
+    def for_query(self, query_name: str) -> list[QueryResult]:
+        return [r for r in self._by_key.values() if r.query_name == query_name]
+
+    def for_window(self, window: WindowInstance) -> list[QueryResult]:
+        return [r for r in self._by_key.values() if r.window == window]
+
+    def query_names(self) -> tuple[str, ...]:
+        return tuple(sorted({r.query_name for r in self._by_key.values()}))
+
+    def as_dict(self) -> Mapping[ResultKey, object]:
+        """A plain ``{key: value}`` mapping (convenient for comparisons)."""
+        return {key: result.value for key, result in self._by_key.items()}
+
+    def nonzero(self) -> "ResultSet":
+        """Results whose value is neither ``None`` nor zero."""
+        return ResultSet(r for r in self._by_key.values() if r.value not in (0, 0.0, None))
+
+    def matches(self, other: "ResultSet", tolerance: float = 1e-9) -> bool:
+        """Semantic equality: zero/absent results are interchangeable.
+
+        Executors differ in whether they emit explicit zero-valued results for
+        scopes that saw events but no match; this comparison treats a missing
+        result and a zero (or ``None``) result as equal, and compares numeric
+        values up to ``tolerance``.
+        """
+        keys = set(self._by_key) | set(other._by_key)
+        for key in keys:
+            mine = self._by_key.get(key)
+            theirs = other._by_key.get(key)
+            mine_value = None if mine is None else mine.value
+            theirs_value = None if theirs is None else theirs.value
+            if not _values_equivalent(mine_value, theirs_value, tolerance):
+                return False
+        return True
+
+    def differences(self, other: "ResultSet", tolerance: float = 1e-9) -> list[tuple]:
+        """Keys at which :meth:`matches` would fail, with both values (debugging)."""
+        keys = set(self._by_key) | set(other._by_key)
+        mismatches = []
+        for key in sorted(keys, key=repr):
+            mine = self._by_key.get(key)
+            theirs = other._by_key.get(key)
+            mine_value = None if mine is None else mine.value
+            theirs_value = None if theirs is None else theirs.value
+            if not _values_equivalent(mine_value, theirs_value, tolerance):
+                mismatches.append((key, mine_value, theirs_value))
+        return mismatches
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultSet({len(self._by_key)} results)"
+
+
+def _values_equivalent(a, b, tolerance: float) -> bool:
+    def normalise(value):
+        if value is None:
+            return 0.0
+        return value
+
+    a, b = normalise(a), normalise(b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return abs(float(a) - float(b)) <= tolerance
+    return a == b

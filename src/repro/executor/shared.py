@@ -1,0 +1,94 @@
+"""The Sharon executor: shared online event sequence aggregation (Section 3.3).
+
+Given a sharing plan — typically produced by the
+:class:`~repro.core.optimizer.SharonOptimizer` — the executor computes the
+aggregates of every shared pattern exactly once per window and group and
+combines them with each sharing query's private prefix/suffix aggregates.
+Queries not covered by any candidate fall back to the Non-Shared method, so
+with an empty plan the executor behaves exactly like A-Seq (the paper notes
+this degenerate case at the end of Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.benefit import BenefitModel
+from ..core.optimizer import SharonOptimizer
+from ..core.plan import SharingPlan
+from ..events.event import Event
+from ..events.stream import EventStream
+from ..queries.workload import Workload
+from ..utils.rates import RateCatalog
+from .engine import ExecutionReport, StreamingEngine
+
+__all__ = ["SharonExecutor", "run_workload"]
+
+
+class SharonExecutor:
+    """Shared online executor guided by a sharing plan.
+
+    Parameters
+    ----------
+    workload:
+        The (uniform) query workload.
+    plan:
+        The sharing plan to follow.  When omitted, a plan is computed on the
+        fly with the :class:`~repro.core.optimizer.SharonOptimizer` from
+        ``rates`` (one of the two must be provided).
+    rates:
+        Rate catalog used to optimize when no plan is given.
+    memory_sample_interval:
+        How often (in finalized windows) to sample peak memory; ``0`` disables
+        sampling.
+    """
+
+    name = "Sharon"
+
+    def __init__(
+        self,
+        workload: Workload,
+        plan: SharingPlan | None = None,
+        rates: "RateCatalog | BenefitModel | None" = None,
+        memory_sample_interval: int = 0,
+    ) -> None:
+        if plan is None:
+            if rates is None:
+                raise ValueError("SharonExecutor needs either a sharing plan or a rate catalog")
+            plan = SharonOptimizer(rates).optimize(workload).plan
+        self.workload = workload
+        self.plan = plan
+        self._engine = StreamingEngine(
+            workload, plan=plan, name=self.name, memory_sample_interval=memory_sample_interval
+        )
+
+    def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
+        """Evaluate the workload over ``stream`` according to the sharing plan."""
+        return self._engine.run(stream)
+
+
+def run_workload(
+    workload: Workload,
+    stream: "EventStream | Iterable[Event]",
+    rates: "RateCatalog | BenefitModel | None" = None,
+    plan: SharingPlan | None = None,
+    memory_sample_interval: int = 0,
+) -> ExecutionReport:
+    """One-call convenience API: optimize (if needed) and execute a workload.
+
+    This is the library's quickstart entry point::
+
+        report = run_workload(workload, stream, rates=RateCatalog.from_stream(stream))
+        for result in report.results:
+            print(result)
+    """
+    if plan is None and rates is None:
+        rates = RateCatalog.from_stream(
+            stream if isinstance(stream, EventStream) else EventStream(stream),
+            per="window",
+            window_size=workload[0].window.size,
+        )
+    executor = SharonExecutor(
+        workload, plan=plan, rates=rates, memory_sample_interval=memory_sample_interval
+    )
+    return executor.run(stream)

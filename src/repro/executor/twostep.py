@@ -1,0 +1,270 @@
+"""Two-step baseline executors: construct sequences, then aggregate.
+
+These reproduce the two families of state-of-the-art systems the paper
+compares against (Figure 3, Section 8.2):
+
+* :class:`FlinkLikeExecutor` — *non-shared two-step*.  Every query is
+  evaluated independently; for each window and group all matching event
+  sequences of the full pattern are constructed before being aggregated.
+  This is the evaluation strategy of Flink/SASE/Cayuga/ZStream when no
+  aggregation-specific optimization is applied.
+* :class:`SpassLikeExecutor` — *shared two-step*.  Sequence construction of
+  shared sub-patterns is performed once per window and group (as in
+  SPASS/E-Cube), and per-query results are assembled by temporally joining
+  prefix, shared, and suffix sequences — but all sequences are still
+  materialised before aggregation.
+
+Both executors therefore store every relevant event of each open window and
+pay construction cost polynomial in the number of events per window — this
+is exactly the behaviour that makes them collapse in Figure 13, and they are
+also the natural ground-truth oracles for the online executors in the test
+suite (their output must be identical).
+
+A ``max_sequences_per_scope`` safety valve aborts runs whose intermediate
+result would exhaust memory, mirroring the paper's observation that Flink and
+SPASS "do not terminate" beyond a few thousand events per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.plan import QueryDecomposition, SharingPlan
+from ..events.event import Event
+from ..events.stream import EventStream
+from ..events.windows import WindowInstance
+from ..queries.query import Query
+from ..queries.workload import Workload
+from .engine import CompiledWorkload, ExecutionReport
+from .metrics import MetricsCollector
+from .results import QueryResult, ResultSet
+from .sequences import EventSequence, enumerate_pattern_matches, join_sequences
+
+__all__ = ["TwoStepBudgetExceeded", "FlinkLikeExecutor", "SpassLikeExecutor"]
+
+
+class TwoStepBudgetExceeded(RuntimeError):
+    """Raised when a two-step run exceeds its sequence-construction budget."""
+
+
+@dataclass
+class _EventBuffer:
+    """Per-scope storage of the raw events a two-step executor must keep."""
+
+    window: WindowInstance
+    group: tuple
+    events: list[Event] = field(default_factory=list)
+
+
+class _TwoStepBase:
+    """Window/group bookkeeping shared by both two-step executors."""
+
+    name = "two-step"
+
+    def __init__(
+        self,
+        workload: Workload,
+        plan: SharingPlan | None = None,
+        memory_sample_interval: int = 1,
+        max_sequences_per_scope: int | None = 2_000_000,
+    ) -> None:
+        self.workload = workload
+        self.compiled = CompiledWorkload(workload, plan)
+        self.memory_sample_interval = memory_sample_interval
+        self.max_sequences_per_scope = max_sequences_per_scope
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
+        compiled = self.compiled
+        collector = MetricsCollector(
+            executor_name=self.name, memory_sample_interval=self.memory_sample_interval
+        )
+        results = ResultSet()
+        buffers: dict[tuple[WindowInstance, tuple], _EventBuffer] = {}
+
+        events = stream.events() if isinstance(stream, EventStream) else tuple(stream)
+        collector.start()
+        for event in events:
+            self._finalize_expired(buffers, event.timestamp, results, collector)
+            relevant = compiled.is_relevant(event)
+            collector.count_event(relevant)
+            if not relevant:
+                continue
+            group = compiled.group_key(event)
+            for window in compiled.window.instances_containing(event.timestamp):
+                key = (window, group)
+                buffer = buffers.get(key)
+                if buffer is None:
+                    buffer = _EventBuffer(window, group)
+                    buffers[key] = buffer
+                buffer.events.append(event)
+        self._finalize_expired(buffers, None, results, collector)
+        metrics = collector.finish()
+        return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
+
+    def _finalize_expired(
+        self,
+        buffers: dict[tuple[WindowInstance, tuple], _EventBuffer],
+        current_timestamp: int | None,
+        results: ResultSet,
+        collector: MetricsCollector,
+    ) -> None:
+        expired_keys = [
+            key
+            for key, buffer in buffers.items()
+            if current_timestamp is None or buffer.window.end <= current_timestamp
+        ]
+        if not expired_keys:
+            return
+        expired_windows = set()
+        for key in sorted(expired_keys, key=lambda k: (k[0], repr(k[1]))):
+            buffer = buffers.pop(key)
+            emitted, constructed = self._finalize_scope(buffer)
+            for result in emitted:
+                results.add(result)
+            expired_windows.add(buffer.window)
+            collector.count_window(len(emitted))
+            collector.state_updates += constructed
+            collector.maybe_sample_memory(buffers, emitted)
+
+    # -- to be provided by subclasses ----------------------------------------------
+    def _finalize_scope(self, buffer: _EventBuffer) -> tuple[list[QueryResult], int]:
+        raise NotImplementedError
+
+    def _check_budget(self, constructed: int) -> None:
+        if (
+            self.max_sequences_per_scope is not None
+            and constructed > self.max_sequences_per_scope
+        ):
+            raise TwoStepBudgetExceeded(
+                f"{self.name} constructed more than {self.max_sequences_per_scope} "
+                "event sequences in a single window — the two-step approach does "
+                "not terminate at this scale (cf. Figure 13)"
+            )
+
+
+class FlinkLikeExecutor(_TwoStepBase):
+    """Non-shared two-step execution (Flink-style)."""
+
+    name = "Flink-like"
+
+    def __init__(
+        self,
+        workload: Workload,
+        memory_sample_interval: int = 1,
+        max_sequences_per_scope: int | None = 2_000_000,
+    ) -> None:
+        super().__init__(
+            workload,
+            plan=SharingPlan(),
+            memory_sample_interval=memory_sample_interval,
+            max_sequences_per_scope=max_sequences_per_scope,
+        )
+
+    def _finalize_scope(self, buffer: _EventBuffer) -> tuple[list[QueryResult], int]:
+        emitted: list[QueryResult] = []
+        constructed = 0
+        for query in self.workload:
+            sequences = enumerate_pattern_matches(query.pattern, buffer.events)
+            constructed += len(sequences)
+            self._check_budget(constructed)
+            value = query.aggregate.evaluate_sequences(sequences)
+            emitted.append(QueryResult(query.name, buffer.window, buffer.group, value))
+        return emitted, constructed
+
+
+class SpassLikeExecutor(_TwoStepBase):
+    """Shared two-step execution (SPASS-style).
+
+    Sequence construction for the plan's shared patterns happens once per
+    scope; per-query matches are then assembled by temporal joins of segment
+    sequences and finally aggregated.  When no plan is supplied the executor
+    derives one by sharing every sharable pattern chosen greedily (SPASS has
+    its own sharing optimizer for sequence construction; any valid plan
+    reproduces its qualitative behaviour).
+    """
+
+    name = "SPASS-like"
+
+    def __init__(
+        self,
+        workload: Workload,
+        plan: SharingPlan | None = None,
+        memory_sample_interval: int = 1,
+        max_sequences_per_scope: int | None = 2_000_000,
+    ) -> None:
+        if plan is None:
+            plan = self._default_plan(workload)
+        super().__init__(
+            workload,
+            plan=plan,
+            memory_sample_interval=memory_sample_interval,
+            max_sequences_per_scope=max_sequences_per_scope,
+        )
+
+    @staticmethod
+    def _default_plan(workload: Workload) -> SharingPlan:
+        """A conflict-free plan sharing as many patterns as possible.
+
+        Candidates are considered longest-pattern first (SPASS favours long
+        shared sequences) and added greedily when they do not conflict with
+        already chosen ones.
+        """
+        from ..core.candidates import build_candidates
+        from ..core.conflicts import ConflictDetector
+
+        detector = ConflictDetector(workload)
+        chosen = []
+        candidates = sorted(
+            build_candidates(workload),
+            key=lambda c: (-len(c.pattern), c.key()),
+        )
+        for candidate in candidates:
+            if all(not detector.in_conflict(candidate, other) for other in chosen):
+                chosen.append(candidate)
+        return SharingPlan(chosen)
+
+    def _finalize_scope(self, buffer: _EventBuffer) -> tuple[list[QueryResult], int]:
+        compiled = self.compiled
+        emitted: list[QueryResult] = []
+        constructed = 0
+
+        # Step 1 (shared): construct sequences of each shared pattern once.
+        shared_sequences: dict = {}
+        for pattern in compiled.shared_specs:
+            sequences = enumerate_pattern_matches(pattern, buffer.events)
+            shared_sequences[pattern] = sequences
+            constructed += len(sequences)
+            self._check_budget(constructed)
+
+        # Step 2 (per query): join segment sequences, then aggregate.
+        for query in self.workload:
+            decomposition = compiled.decompositions[query.name]
+            sequences = self._assemble_query_sequences(
+                query, decomposition, buffer.events, shared_sequences
+            )
+            constructed += len(sequences)
+            self._check_budget(constructed)
+            value = query.aggregate.evaluate_sequences(sequences)
+            emitted.append(QueryResult(query.name, buffer.window, buffer.group, value))
+        return emitted, constructed
+
+    def _assemble_query_sequences(
+        self,
+        query: Query,
+        decomposition: QueryDecomposition,
+        events: Sequence[Event],
+        shared_sequences: dict,
+    ) -> list[EventSequence]:
+        assembled: list[EventSequence] | None = None
+        for segment in decomposition.segments:
+            if segment.is_shared:
+                segment_sequences = shared_sequences[segment.pattern]
+            else:
+                segment_sequences = enumerate_pattern_matches(segment.pattern, events)
+            if assembled is None:
+                assembled = list(segment_sequences)
+            else:
+                assembled = join_sequences(assembled, segment_sequences)
+        return assembled if assembled is not None else []

@@ -1,0 +1,183 @@
+"""A small textual query language in the SASE style used by the paper.
+
+The grammar intentionally mirrors the paper's examples (Figures 1 and 2)::
+
+    RETURN COUNT(*)
+    PATTERN SEQ(OakSt, MainSt)
+    WHERE [vehicle] AND price > 10
+    GROUP BY route
+    WITHIN 600 SLIDE 60
+
+Clauses may appear on one line or several; only PATTERN and WITHIN/SLIDE are
+mandatory.  ``parse_query`` returns a :class:`~repro.queries.query.Query`.
+
+The parser is deliberately regular-expression based: queries are tiny and the
+language has no nesting, so a hand-rolled tokenizer would add complexity
+without value.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..events.windows import SlidingWindow
+from .aggregates import AggregateSpec, AggregationKind
+from .pattern import Pattern
+from .predicates import EquivalencePredicate, FilterPredicate, PredicateSet
+from .query import Query
+
+__all__ = ["parse_query", "QueryParseError"]
+
+
+class QueryParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+_CLAUSE_RE = re.compile(
+    r"(RETURN|PATTERN|WHERE|GROUP\s+BY|WITHIN|SLIDE)", flags=re.IGNORECASE
+)
+_AGG_RE = re.compile(
+    r"^\s*(COUNT|SUM|MIN|MAX|AVG)\s*\(\s*([^)]*)\s*\)\s*$", flags=re.IGNORECASE
+)
+_SEQ_RE = re.compile(r"^\s*SEQ\s*\(\s*([^)]*)\s*\)\s*$", flags=re.IGNORECASE)
+_EQUIV_RE = re.compile(r"^\s*\[\s*([A-Za-z_][\w]*)\s*\]\s*$")
+_FILTER_RE = re.compile(
+    r"^\s*(?:([A-Za-z_][\w]*)\.)?([A-Za-z_][\w]*)\s*(<=|>=|!=|==|=|<|>)\s*([^\s]+)\s*$"
+)
+
+
+def parse_query(text: str, name: str = "") -> Query:
+    """Parse a SASE-style query string into a :class:`Query`.
+
+    Examples
+    --------
+    >>> q = parse_query(
+    ...     "RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) "
+    ...     "WHERE [vehicle] WITHIN 600 SLIDE 60"
+    ... )
+    >>> q.pattern.event_types
+    ('OakSt', 'MainSt')
+    """
+    clauses = _split_clauses(text)
+    if "PATTERN" not in clauses:
+        raise QueryParseError("query misses the mandatory PATTERN clause")
+    if "WITHIN" not in clauses:
+        raise QueryParseError("query misses the mandatory WITHIN clause")
+
+    pattern = _parse_pattern(clauses["PATTERN"])
+    aggregate = _parse_aggregate(clauses.get("RETURN", "COUNT(*)"))
+    predicates = _parse_where(clauses.get("WHERE", ""))
+    group_by = _parse_group_by(clauses.get("GROUP BY", ""))
+    window = _parse_window(clauses["WITHIN"], clauses.get("SLIDE"))
+
+    return Query(
+        pattern=pattern,
+        window=window,
+        aggregate=aggregate,
+        predicates=predicates,
+        group_by=group_by,
+        name=name,
+    )
+
+
+def _split_clauses(text: str) -> dict[str, str]:
+    pieces = _CLAUSE_RE.split(text)
+    if pieces and pieces[0].strip():
+        raise QueryParseError(f"unexpected text before first clause: {pieces[0]!r}")
+    clauses: dict[str, str] = {}
+    for keyword, body in zip(pieces[1::2], pieces[2::2]):
+        key = re.sub(r"\s+", " ", keyword.upper().strip())
+        if key in clauses:
+            raise QueryParseError(f"duplicate {key} clause")
+        clauses[key] = body.strip()
+    return clauses
+
+
+def _parse_aggregate(text: str) -> AggregateSpec:
+    match = _AGG_RE.match(text)
+    if not match:
+        raise QueryParseError(f"cannot parse RETURN clause {text!r}")
+    func = match.group(1).upper()
+    argument = match.group(2).strip()
+    if func == "COUNT":
+        if argument in ("*", ""):
+            return AggregateSpec.count_star()
+        return AggregateSpec.count(argument)
+    if "." not in argument:
+        raise QueryParseError(
+            f"{func} requires an argument of the form EventType.attribute, got {argument!r}"
+        )
+    event_type, attribute = argument.split(".", 1)
+    kind = {
+        "SUM": AggregationKind.SUM,
+        "MIN": AggregationKind.MIN,
+        "MAX": AggregationKind.MAX,
+        "AVG": AggregationKind.AVG,
+    }[func]
+    return AggregateSpec(kind, event_type.strip(), attribute.strip())
+
+
+def _parse_pattern(text: str) -> Pattern:
+    match = _SEQ_RE.match(text)
+    if not match:
+        raise QueryParseError(f"cannot parse PATTERN clause {text!r}; expected SEQ(A, B, ...)")
+    types = [t.strip() for t in match.group(1).split(",") if t.strip()]
+    if not types:
+        raise QueryParseError("PATTERN SEQ(...) must list at least one event type")
+    return Pattern(types)
+
+
+def _parse_where(text: str) -> PredicateSet:
+    if not text.strip():
+        return PredicateSet()
+    equivalences: list[EquivalencePredicate] = []
+    filters: list[FilterPredicate] = []
+    for term in re.split(r"\bAND\b", text, flags=re.IGNORECASE):
+        term = term.strip()
+        if not term:
+            continue
+        equivalence = _EQUIV_RE.match(term)
+        if equivalence:
+            equivalences.append(EquivalencePredicate(equivalence.group(1)))
+            continue
+        comparison = _FILTER_RE.match(term)
+        if comparison:
+            event_type, attribute, op, raw_value = comparison.groups()
+            filters.append(FilterPredicate(attribute, op, _parse_literal(raw_value), event_type))
+            continue
+        raise QueryParseError(f"cannot parse WHERE term {term!r}")
+    return PredicateSet(equivalences, filters)
+
+
+def _parse_group_by(text: str) -> tuple[str, ...]:
+    if not text.strip():
+        return ()
+    return tuple(attr.strip() for attr in text.split(",") if attr.strip())
+
+
+def _parse_window(within_text: str, slide_text: str | None) -> SlidingWindow:
+    try:
+        size = int(within_text.strip())
+    except ValueError as exc:
+        raise QueryParseError(f"WITHIN expects an integer, got {within_text!r}") from exc
+    if slide_text is None:
+        slide = size
+    else:
+        try:
+            slide = int(slide_text.strip())
+        except ValueError as exc:
+            raise QueryParseError(f"SLIDE expects an integer, got {slide_text!r}") from exc
+    return SlidingWindow(size=size, slide=slide)
+
+
+def _parse_literal(raw: str):
+    raw = raw.strip().strip("'\"")
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw

@@ -1,0 +1,155 @@
+"""Query predicates (optional WHERE clause).
+
+The motivating queries of the paper use two flavours of predicates:
+
+* **Equivalence predicates** such as ``[vehicle]`` — all events of a matched
+  sequence must agree on an attribute (same vehicle / same customer).  These
+  behave like an implicit partition of the stream, so executors evaluate them
+  by sub-stream partitioning, exactly like GROUP-BY attributes.
+* **Filter predicates** such as ``price > 100`` — a per-event condition on one
+  attribute, optionally restricted to a single event type.
+
+A :class:`PredicateSet` bundles both and is attached to a query.  The paper's
+default workload assumption (Section 2.1) is that all queries in a workload
+carry the same predicates; Section 7.2 relaxes that assumption by segmenting
+streams, which this module's partition keys support directly.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from ..events.event import Event
+
+__all__ = [
+    "EquivalencePredicate",
+    "FilterPredicate",
+    "PredicateSet",
+    "COMPARATORS",
+]
+
+
+COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class EquivalencePredicate:
+    """All events of a match must carry the same value of ``attribute``.
+
+    This is the paper's ``[vehicle]`` / ``[customer]`` notation.
+    """
+
+    attribute: str
+
+    def key_of(self, event: Event) -> Hashable:
+        """Partition key contributed by this predicate for ``event``."""
+        return event.attribute(self.attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.attribute}]"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterPredicate:
+    """A per-event comparison ``<attribute> <op> <constant>``.
+
+    Parameters
+    ----------
+    attribute:
+        Attribute the comparison reads.
+    op:
+        One of ``<  <=  >  >=  =  !=``.
+    value:
+        Constant right-hand side.
+    event_type:
+        If given, only events of this type are checked; other events pass.
+    """
+
+    attribute: str
+    op: str
+    value: Any
+    event_type: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARATORS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def matches(self, event: Event) -> bool:
+        if self.event_type is not None and event.event_type != self.event_type:
+            return True
+        actual = event.attribute(self.attribute)
+        if actual is None:
+            return False
+        return COMPARATORS[self.op](actual, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = f"{self.event_type}." if self.event_type else ""
+        return f"{prefix}{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class PredicateSet:
+    """The full WHERE clause of a query."""
+
+    equivalences: tuple[EquivalencePredicate, ...] = ()
+    filters: tuple[FilterPredicate, ...] = ()
+
+    def __init__(
+        self,
+        equivalences: Iterable[EquivalencePredicate] = (),
+        filters: Iterable[FilterPredicate] = (),
+    ) -> None:
+        object.__setattr__(self, "equivalences", tuple(equivalences))
+        object.__setattr__(self, "filters", tuple(filters))
+
+    @classmethod
+    def same(cls, *attributes: str) -> "PredicateSet":
+        """Convenience constructor: ``PredicateSet.same("vehicle")``."""
+        return cls(equivalences=[EquivalencePredicate(a) for a in attributes])
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.equivalences and not self.filters
+
+    @property
+    def equivalence_attributes(self) -> tuple[str, ...]:
+        return tuple(p.attribute for p in self.equivalences)
+
+    def accepts(self, event: Event) -> bool:
+        """Whether ``event`` passes every filter predicate."""
+        return all(f.matches(event) for f in self.filters)
+
+    def partition_key(self, event: Event) -> tuple[Hashable, ...]:
+        """Equivalence-class key of ``event`` (one component per equivalence)."""
+        return tuple(p.key_of(event) for p in self.equivalences)
+
+    def accepts_sequence(self, events: Sequence[Event]) -> bool:
+        """Whether a complete candidate sequence satisfies all predicates.
+
+        Used by the brute-force reference matcher and the two-step baselines.
+        """
+        if not all(self.accepts(e) for e in events):
+            return False
+        for predicate in self.equivalences:
+            values = {predicate.key_of(e) for e in events}
+            if len(values) > 1:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [repr(p) for p in self.equivalences] + [repr(p) for p in self.filters]
+        return " AND ".join(parts) if parts else "TRUE"
+
+
+#: Shared immutable instance for queries without a WHERE clause.
+PredicateSet.EMPTY = PredicateSet()  # type: ignore[attr-defined]

@@ -1,0 +1,150 @@
+"""Event sequence aggregation queries (Definition 2).
+
+A :class:`Query` bundles the five clauses of the paper's query model:
+
+* ``RETURN``   — an :class:`~repro.queries.aggregates.AggregateSpec`,
+* ``PATTERN``  — a :class:`~repro.queries.pattern.Pattern`,
+* ``WHERE``    — an optional :class:`~repro.queries.predicates.PredicateSet`,
+* ``GROUP BY`` — a tuple of grouping attributes,
+* ``WITHIN / SLIDE`` — a :class:`~repro.events.windows.SlidingWindow`.
+
+Queries are immutable value objects; equality is structural so they can be
+used as dictionary keys by the optimizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from ..events.event import Event
+from ..events.windows import SlidingWindow
+from .aggregates import AggregateSpec
+from .pattern import Pattern
+from .predicates import PredicateSet
+
+__all__ = ["Query", "GroupKey"]
+
+#: A group key is the concatenation of GROUP-BY values and equivalence values.
+GroupKey = tuple
+
+
+_query_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One event sequence aggregation query.
+
+    Parameters
+    ----------
+    pattern:
+        The event sequence pattern ``(E1 ... El)``.
+    window:
+        Sliding window specification (WITHIN / SLIDE).
+    aggregate:
+        The aggregation function of the RETURN clause; defaults to COUNT(*).
+    predicates:
+        Optional WHERE clause; defaults to the empty predicate set.
+    group_by:
+        Optional GROUP-BY attributes.
+    name:
+        Human-readable identifier (``q1``, ``q2`` ... by default).
+    """
+
+    pattern: Pattern
+    window: SlidingWindow
+    aggregate: AggregateSpec = field(default_factory=AggregateSpec.count_star)
+    predicates: PredicateSet = field(default_factory=PredicateSet)
+    group_by: tuple[str, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pattern, Pattern):
+            object.__setattr__(self, "pattern", Pattern(self.pattern))
+        if isinstance(self.group_by, list):
+            object.__setattr__(self, "group_by", tuple(self.group_by))
+        if not self.name:
+            object.__setattr__(self, "name", f"q{next(_query_counter)}")
+
+    # -- structural helpers ----------------------------------------------------
+    @property
+    def event_types(self) -> tuple[str, ...]:
+        """Event types referenced by the pattern, in pattern order."""
+        return self.pattern.event_types
+
+    @property
+    def length(self) -> int:
+        return len(self.pattern)
+
+    def grouping_key(self, event: Event) -> GroupKey:
+        """Group key of an event: GROUP-BY values then equivalence values.
+
+        Events of the same match are required to agree on this key, so the
+        executors partition each window's events by it.
+        """
+        group_values = tuple(event.attribute(attr) for attr in self.group_by)
+        return group_values + self.predicates.partition_key(event)
+
+    @property
+    def partition_attributes(self) -> tuple[str, ...]:
+        """All attributes participating in the grouping key."""
+        return self.group_by + self.predicates.equivalence_attributes
+
+    def accepts(self, event: Event) -> bool:
+        """Whether an event is relevant at all for this query."""
+        return event.event_type in set(self.pattern.event_types) and self.predicates.accepts(event)
+
+    def same_context_as(self, other: "Query") -> bool:
+        """Whether two queries agree on window, predicates, and grouping.
+
+        The core Sharon model (Section 2.1, assumption 2) only shares patterns
+        among queries with identical contexts; Section 7.2 relaxes this via
+        stream segmentation, which callers can apply before optimization.
+        """
+        return (
+            self.window == other.window
+            and self.group_by == other.group_by
+            and self.predicates == other.predicates
+        )
+
+    # -- derived queries ---------------------------------------------------------
+    def with_pattern(self, pattern: "Pattern | Sequence[str]", name: str = "") -> "Query":
+        """A copy of this query with a different pattern (used by generators)."""
+        new_pattern = pattern if isinstance(pattern, Pattern) else Pattern(pattern)
+        return Query(
+            pattern=new_pattern,
+            window=self.window,
+            aggregate=self.aggregate,
+            predicates=self.predicates,
+            group_by=self.group_by,
+            name=name or f"{self.name}'",
+        )
+
+    def matches_sequence(self, events: Sequence[Event]) -> bool:
+        """Reference check: do ``events`` form a match of this query's pattern?
+
+        Timestamps must be strictly increasing, types must follow the pattern,
+        predicates and grouping must hold.  Window membership is checked by
+        the caller (a sequence belongs to every window containing it).
+        """
+        if len(events) != len(self.pattern):
+            return False
+        for event, expected_type in zip(events, self.pattern.event_types):
+            if event.event_type != expected_type:
+                return False
+        for earlier, later in zip(events, events[1:]):
+            if not earlier.timestamp < later.timestamp:
+                return False
+        if not self.predicates.accepts_sequence(events):
+            return False
+        keys = {self.grouping_key(e) for e in events}
+        return len(keys) <= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Query({self.name}: RETURN {self.aggregate!r} PATTERN SEQ{self.pattern!r} "
+            f"WHERE {self.predicates!r} GROUP BY {list(self.group_by)} "
+            f"WITHIN {self.window.size} SLIDE {self.window.slide})"
+        )

@@ -1,0 +1,40 @@
+"""Shared argument-validation helpers.
+
+These small guards keep the public API's error messages uniform without
+sprinkling repetitive ``if``/``raise`` blocks over every constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sized
+
+__all__ = ["require_positive", "require_non_negative", "require_non_empty", "require_in"]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_non_empty(value: Sized, name: str) -> Sized:
+    """Raise :class:`ValueError` when a container argument is empty."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return value
+
+
+def require_in(value, allowed: Iterable, name: str):
+    """Raise :class:`ValueError` when ``value`` is not one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

@@ -1,0 +1,119 @@
+"""Validation of the sharing benefit model against measured executor work.
+
+The benefit model (Equations 1-8) estimates, from per-type rates alone, how
+much aggregation work a sharing decision saves.  The executors count their
+actual work deterministically (``state_updates``: prefix-aggregate updates
+plus shared-anchor updates), so the model's predictions can be checked
+against ground truth without any wall-clock measurement:
+
+* a plan the model considers beneficial must reduce the measured number of
+  state updates compared to the non-shared execution;
+* sharing a pattern among *more* queries must save more work;
+* the empty plan must measure exactly like A-Seq (it is A-Seq).
+
+These tests close the loop between Section 3 (the model) and Section 8 (the
+measured gains) at a scale where the answer is exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenefitModel, SharingCandidate, SharingPlan, SharonOptimizer
+from repro.datasets import ChainConfig, chain_stream, chain_workload
+from repro.events import SlidingWindow
+from repro.executor import ASeqExecutor, SharonExecutor
+from repro.queries import Pattern
+from repro.utils import RateCatalog
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    config = ChainConfig(num_event_types=10, entity_attribute="car")
+    workload = chain_workload(
+        12,
+        5,
+        config=config,
+        window=SlidingWindow(size=30, slide=15),
+        seed=71,
+        offset_pool_size=2,
+    )
+    stream = chain_stream(
+        duration=120, events_per_second=15, config=config, num_entities=8, seed=72
+    )
+    return workload, stream
+
+
+class TestBenefitModelAgainstMeasuredWork:
+    def test_beneficial_plan_reduces_state_updates(self, scenario):
+        workload, stream = scenario
+        rates = RateCatalog.from_stream(stream, per="time-unit")
+        plan = SharonOptimizer(rates).optimize(workload).plan
+        assert not plan.is_empty, "the pooled chain workload must offer beneficial sharing"
+
+        shared = SharonExecutor(workload, plan=plan).run(stream)
+        non_shared = ASeqExecutor(workload).run(stream)
+
+        assert shared.results.matches(non_shared.results)
+        assert shared.metrics.state_updates < non_shared.metrics.state_updates
+
+    def test_empty_plan_measures_exactly_like_aseq(self, scenario):
+        workload, stream = scenario
+        empty = SharonExecutor(workload, plan=SharingPlan()).run(stream)
+        aseq = ASeqExecutor(workload).run(stream)
+        assert empty.metrics.state_updates == aseq.metrics.state_updates
+        assert empty.results.matches(aseq.results)
+
+    def test_more_sharing_queries_save_more_work(self, scenario):
+        """Sharing one pattern among a growing subset of its queries saves
+        monotonically more measured work, as Equation 8 predicts when the
+        per-query shared cost is below the per-query non-shared cost."""
+        workload, stream = scenario
+        rates = RateCatalog.from_stream(stream, per="time-unit")
+        model = BenefitModel(rates)
+
+        # The most widely shared pattern of the workload.
+        from repro.core import detect_sharable_patterns
+
+        sharable = detect_sharable_patterns(workload)
+        pattern, query_names = max(sharable.items(), key=lambda item: len(item[1]))
+        assert len(query_names) >= 4
+
+        baseline_updates = ASeqExecutor(workload).run(stream).metrics.state_updates
+
+        savings = []
+        benefits = []
+        for count in (2, len(query_names) // 2 + 1, len(query_names)):
+            subset = query_names[:count]
+            candidate = SharingCandidate(pattern, subset, 1.0)
+            report = SharonExecutor(workload, plan=SharingPlan([candidate])).run(stream)
+            savings.append(baseline_updates - report.metrics.state_updates)
+            benefits.append(
+                model.benefit(pattern, [workload[name] for name in subset])
+            )
+
+        assert savings == sorted(savings), savings
+        assert benefits == sorted(benefits), benefits
+
+    def test_model_prefers_the_plan_that_measures_better(self, scenario):
+        """Between the optimizer's plan and a deliberately poor plan (sharing
+        only one short pattern between two queries), the model's preferred
+        plan also wins on measured state updates."""
+        workload, stream = scenario
+        rates = RateCatalog.from_stream(stream, per="time-unit")
+        optimizer_plan = SharonOptimizer(rates).optimize(workload).plan
+        assert not optimizer_plan.is_empty
+
+        from repro.core import detect_sharable_patterns
+
+        sharable = detect_sharable_patterns(workload)
+        # Pick the sharable pattern with the fewest sharing queries (worst case).
+        pattern, query_names = min(
+            sharable.items(), key=lambda item: (len(item[1]), item[0].event_types)
+        )
+        poor_plan = SharingPlan([SharingCandidate(pattern, query_names[:2], 1.0)])
+
+        best_report = SharonExecutor(workload, plan=optimizer_plan).run(stream)
+        poor_report = SharonExecutor(workload, plan=poor_plan).run(stream)
+        assert best_report.results.matches(poor_report.results)
+        assert best_report.metrics.state_updates <= poor_report.metrics.state_updates

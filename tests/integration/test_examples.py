@@ -1,0 +1,50 @@
+"""Smoke tests running every example script end to end.
+
+The examples double as executable documentation; they must keep working as
+the library evolves.  Each script exposes a ``main()`` function, so they are
+imported and executed in-process (stdout is captured by pytest).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "example",
+    [
+        "quickstart",
+        "optimizer_walkthrough",
+        "ecommerce_recommendation",
+        "traffic_monitoring",
+        "mixed_context_workload",
+        "dynamic_workload",
+    ],
+)
+def test_example_runs(example, capsys):
+    module = load_example(example)
+    module.main()
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"example {example} should print a report"
+
+
+def test_examples_directory_documented():
+    """Every example file is referenced in the README."""
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text(encoding="utf-8")
+    for path in EXAMPLES_DIR.glob("*.py"):
+        assert path.name in readme, f"{path.name} missing from README"

@@ -1,0 +1,143 @@
+"""Cross-executor equivalence on realistic data sets.
+
+All four executors implement the same query semantics, so on any stream and
+any (uniform) workload they must produce identical results — the online ones
+without constructing sequences, the two-step ones by constructing them.  This
+is the library's strongest end-to-end correctness check and mirrors the
+paper's premise that Sharon is a pure optimization (it never changes query
+answers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SharonOptimizer
+from repro.datasets import (
+    EcommerceConfig,
+    LinearRoadConfig,
+    chain_stream,
+    chain_workload,
+    ChainConfig,
+    generate_ecommerce_stream,
+    generate_linear_road_stream,
+    purchase_workload,
+    traffic_workload_scaled,
+)
+from repro.events import SlidingWindow
+from repro.executor import ASeqExecutor, FlinkLikeExecutor, SharonExecutor, SpassLikeExecutor
+from repro.queries import AggregateSpec
+from repro.utils import RateCatalog
+
+
+def plan_for(workload, stream):
+    rates = RateCatalog.from_stream(stream, per="time-unit")
+    return SharonOptimizer(rates).optimize(workload).plan
+
+
+class TestEquivalenceOnDatasets:
+    def test_purchase_workload_on_ecommerce_stream(self):
+        workload = purchase_workload(window=SlidingWindow(size=60, slide=30))
+        stream = generate_ecommerce_stream(
+            EcommerceConfig(
+                num_items=12,
+                num_customers=5,
+                duration_seconds=150,
+                purchases_per_second=6.0,
+                follow_probability=0.7,
+                seed=21,
+            )
+        )
+        plan = plan_for(workload, stream)
+        reports = {
+            "sharon": SharonExecutor(workload, plan=plan).run(stream),
+            "aseq": ASeqExecutor(workload).run(stream),
+            "flink": FlinkLikeExecutor(workload).run(stream),
+            "spass": SpassLikeExecutor(workload, plan=plan).run(stream),
+        }
+        reference = reports["flink"].results
+        for name, report in reports.items():
+            assert report.results.matches(reference), (
+                name,
+                report.results.differences(reference)[:5],
+            )
+        assert any(r.value for r in reference), "expected at least one purchase sequence"
+
+    def test_scaled_traffic_workload_on_linear_road_stream(self):
+        config = LinearRoadConfig(
+            num_segments=12,
+            num_cars=25,
+            duration_seconds=120,
+            initial_rate=6.0,
+            final_rate=18.0,
+            seed=29,
+        )
+        workload = traffic_workload_scaled(
+            num_queries=10,
+            pattern_length=4,
+            config=config,
+            window=SlidingWindow(size=30, slide=15),
+        )
+        stream = generate_linear_road_stream(config)
+        plan = plan_for(workload, stream)
+
+        sharon = SharonExecutor(workload, plan=plan).run(stream)
+        aseq = ASeqExecutor(workload).run(stream)
+        assert sharon.results.matches(aseq.results), sharon.results.differences(aseq.results)[:5]
+        assert any(r.value for r in sharon.results)
+
+    def test_sum_aggregate_workload(self):
+        config = ChainConfig(num_event_types=8, entity_attribute="entity")
+        workload = chain_workload(
+            6,
+            3,
+            config=config,
+            window=SlidingWindow(size=20, slide=10),
+            seed=5,
+            aggregate=AggregateSpec.sum(chain_event_types_last(config), "position"),
+        )
+        stream = chain_stream(
+            duration=80, events_per_second=6, config=config, num_entities=4, seed=6
+        )
+        plan = plan_for(workload, stream)
+        sharon = SharonExecutor(workload, plan=plan).run(stream)
+        flink = FlinkLikeExecutor(workload).run(stream)
+        assert sharon.results.matches(flink.results), sharon.results.differences(flink.results)[:5]
+
+
+def chain_event_types_last(config: ChainConfig) -> str:
+    """The last chain type — used as the SUM target so most queries track it."""
+    from repro.datasets import chain_event_types
+
+    return chain_event_types(config)[-1]
+
+
+class TestSharingPlanNeverChangesAnswers:
+    def test_many_random_plans_agree(self):
+        from repro.core import build_candidates, ConflictDetector, SharingPlan
+        import random
+
+        config = ChainConfig(num_event_types=10)
+        workload = chain_workload(
+            8, 4, config=config, window=SlidingWindow(size=25, slide=10), seed=13
+        )
+        stream = chain_stream(
+            duration=100, events_per_second=8, config=config, num_entities=6, seed=14
+        )
+        reference = ASeqExecutor(workload).run(stream).results
+
+        detector = ConflictDetector(workload)
+        candidates = build_candidates(workload)
+        rng = random.Random(3)
+        plans_checked = 0
+        for _ in range(6):
+            rng.shuffle(candidates)
+            chosen = []
+            for candidate in candidates:
+                if all(not detector.in_conflict(candidate, other) for other in chosen):
+                    chosen.append(candidate.with_benefit(1.0))
+            plan = SharingPlan(chosen)
+            report = SharonExecutor(workload, plan=plan).run(stream)
+            assert report.results.matches(reference), report.results.differences(reference)[:5]
+            plans_checked += 1
+        assert plans_checked == 6

@@ -1,0 +1,128 @@
+"""Property-based tests for the aggregate-state algebra (hypothesis).
+
+The online executors rely on :class:`AggregateState` behaving like a
+well-formed algebra: ``merge`` is a commutative monoid with identity
+``zero``, ``combine`` distributes over ``merge``, and extending a state by an
+event commutes with merging.  These laws are what make shared, incremental
+maintenance correct, so they are exercised over randomly generated states.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Event
+from repro.queries import AggregateSpec, AggregateState
+
+
+def states(max_count: int = 50):
+    """Strategy producing structurally consistent aggregate states."""
+
+    def build(count, target, total, minimum, maximum):
+        if count == 0:
+            return AggregateState.zero()
+        target = min(target, count * 3)
+        low, high = sorted((minimum, maximum))
+        has_values = target > 0
+        return AggregateState(
+            count=count,
+            target_count=target,
+            total=total if has_values else 0.0,
+            minimum=low if has_values else None,
+            maximum=high if has_values else None,
+        )
+
+    return st.builds(
+        build,
+        st.integers(min_value=0, max_value=max_count),
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+
+
+def events():
+    return st.builds(
+        Event,
+        st.sampled_from(["A", "B", "C"]),
+        st.integers(min_value=0, max_value=1000),
+        st.fixed_dictionaries({"price": st.floats(min_value=0, max_value=100, allow_nan=False)}),
+    )
+
+
+SPEC = AggregateSpec.sum("B", "price")
+
+
+class TestMergeMonoid:
+    @given(states())
+    def test_zero_is_identity(self, state):
+        assert state.merge(AggregateState.zero()) == state
+        assert AggregateState.zero().merge(state) == state
+
+    @given(states(), states())
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(states(), states(), states())
+    def test_merge_associative(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.count == right.count
+        assert left.target_count == right.target_count
+        assert abs(left.total - right.total) < 1e-6
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+
+
+class TestCombine:
+    @given(states(), states())
+    def test_combine_count_is_product(self, a, b):
+        assert a.combine(b).count == a.count * b.count
+
+    @given(states())
+    def test_combine_with_zero_annihilates(self, state):
+        assert state.combine(AggregateState.zero()).is_zero
+        assert AggregateState.zero().combine(state).is_zero
+
+    @given(states(), states(), states())
+    @settings(max_examples=60)
+    def test_combine_distributes_over_merge(self, a, b, c):
+        left = a.combine(b.merge(c))
+        right = a.combine(b).merge(a.combine(c))
+        assert left.count == right.count
+        assert left.target_count == right.target_count
+        assert abs(left.total - right.total) < 1e-6
+
+    @given(states(), st.integers(min_value=0, max_value=20))
+    def test_scale_equals_repeated_merge(self, state, factor):
+        scaled = state.scale(factor)
+        merged = AggregateState.zero()
+        for _ in range(factor):
+            merged = merged.merge(state)
+        assert scaled.count == merged.count
+        assert abs(scaled.total - merged.total) < 1e-6
+
+
+class TestExtend:
+    @given(states(), events())
+    def test_extend_preserves_count(self, state, event):
+        assert state.extend(event, SPEC).count == state.count
+
+    @given(states(), states(), events())
+    def test_extend_commutes_with_merge(self, a, b, event):
+        left = a.merge(b).extend(event, SPEC)
+        right = a.extend(event, SPEC).merge(b.extend(event, SPEC))
+        assert left.count == right.count
+        assert left.target_count == right.target_count
+        assert abs(left.total - right.total) < 1e-6
+
+    @given(states(), events())
+    def test_extend_targeted_event_adds_value_per_sequence(self, state, event):
+        extended = state.extend(event, SPEC)
+        if event.event_type == "B" and state.count > 0:
+            assert extended.target_count == state.target_count + state.count
+            assert abs(extended.total - (state.total + event["price"] * state.count)) < 1e-6
+        else:
+            assert extended.total == state.total

@@ -1,0 +1,100 @@
+"""Property-based end-to-end check: online executors equal the brute-force oracle.
+
+For randomly generated small workloads, sharing plans, and streams, the
+Sharon executor (shared online), the A-Seq executor (non-shared online), and
+the Flink-like two-step oracle must return identical results for every query,
+window, and group.  This is the library-level statement of the paper's
+correctness claim: sharing and online aggregation are pure optimizations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConflictDetector, SharingPlan, build_candidates
+from repro.events import Event, EventStream, SlidingWindow
+from repro.executor import ASeqExecutor, FlinkLikeExecutor, SharonExecutor
+from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
+
+EVENT_TYPES = ["A", "B", "C", "D"]
+
+
+@st.composite
+def workloads(draw):
+    """Small uniform COUNT(*) workloads over types A-D."""
+    window_size = draw(st.sampled_from([6, 8, 12]))
+    slide = draw(st.sampled_from([3, 4, window_size]))
+    slide = min(slide, window_size)
+    window = SlidingWindow(size=window_size, slide=slide)
+    use_equivalence = draw(st.booleans())
+    predicates = PredicateSet.same("entity") if use_equivalence else PredicateSet()
+    num_queries = draw(st.integers(min_value=2, max_value=4))
+    queries = []
+    for index in range(num_queries):
+        length = draw(st.integers(min_value=2, max_value=3))
+        types = draw(
+            st.lists(st.sampled_from(EVENT_TYPES), min_size=length, max_size=length, unique=True)
+        )
+        queries.append(
+            Query(
+                pattern=Pattern(types),
+                window=window,
+                aggregate=AggregateSpec.count_star(),
+                predicates=predicates,
+                name=f"pq{index}",
+            )
+        )
+    return Workload(queries)
+
+
+@st.composite
+def streams(draw):
+    """Short random streams with shared timestamps and two entities."""
+    length = draw(st.integers(min_value=5, max_value=40))
+    events = []
+    for event_id in range(length):
+        event_type = draw(st.sampled_from(EVENT_TYPES))
+        timestamp = draw(st.integers(min_value=0, max_value=25))
+        entity = draw(st.integers(min_value=0, max_value=1))
+        events.append(Event(event_type, timestamp, {"entity": entity}, event_id))
+    return EventStream(events)
+
+
+def random_valid_plan(workload: Workload, seed: int) -> SharingPlan:
+    """A maximal conflict-free plan assembled in pseudo-random order."""
+    detector = ConflictDetector(workload)
+    candidates = build_candidates(workload)
+    rng = random.Random(seed)
+    rng.shuffle(candidates)
+    chosen = []
+    for candidate in candidates:
+        if all(not detector.in_conflict(candidate, other) for other in chosen):
+            chosen.append(candidate.with_benefit(1.0))
+    return SharingPlan(chosen)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_online_executors_match_brute_force(workload, stream, plan_seed):
+    plan = random_valid_plan(workload, plan_seed)
+    oracle = FlinkLikeExecutor(workload).run(stream).results
+    aseq = ASeqExecutor(workload).run(stream).results
+    sharon = SharonExecutor(workload, plan=plan).run(stream).results
+
+    assert aseq.matches(oracle), aseq.differences(oracle)[:5]
+    assert sharon.matches(oracle), (list(plan), sharon.differences(oracle)[:5])
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads(), streams())
+def test_empty_and_full_plans_agree(workload, stream):
+    reference = ASeqExecutor(workload).run(stream).results
+    empty_plan = SharonExecutor(workload, plan=SharingPlan()).run(stream).results
+    maximal_plan = SharonExecutor(workload, plan=random_valid_plan(workload, 0)).run(
+        stream
+    ).results
+    assert empty_plan.matches(reference)
+    assert maximal_plan.matches(reference)

@@ -1,0 +1,134 @@
+"""Unit tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, builtin_workload, load_workload, main
+
+
+WORKLOAD_FILE = """
+# route popularity
+name: r1
+RETURN COUNT(*)
+PATTERN SEQ(OakSt, MainSt)
+WHERE [vehicle]
+WITHIN 60 SLIDE 20
+
+name: r2
+RETURN COUNT(*)
+PATTERN SEQ(OakSt, MainSt, WestSt)
+WHERE [vehicle]
+WITHIN 60 SLIDE 20
+
+PATTERN SEQ(ElmSt, ParkAve) WHERE [vehicle] WITHIN 60 SLIDE 20
+"""
+
+
+class TestWorkloadLoading:
+    def test_load_workload_file(self, tmp_path):
+        path = tmp_path / "workload.sase"
+        path.write_text(WORKLOAD_FILE, encoding="utf-8")
+        workload = load_workload(path)
+        assert len(workload) == 3
+        assert workload["r1"].pattern.event_types == ("OakSt", "MainSt")
+        assert workload["r2"].predicates.equivalence_attributes == ("vehicle",)
+        # The unnamed query gets a positional name.
+        assert workload[2].pattern.event_types == ("ElmSt", "ParkAve")
+
+    def test_load_empty_file_fails(self, tmp_path):
+        path = tmp_path / "empty.sase"
+        path.write_text("# only a comment\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            load_workload(path)
+
+    def test_builtin_workloads(self):
+        assert len(builtin_workload("traffic")) == 7
+        assert len(builtin_workload("purchase")) == 4
+        with pytest.raises(SystemExit):
+            builtin_workload("unknown")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.workload == "traffic"
+        assert args.optimizer == "sharon"
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "purchase", "--dataset", "ecommerce", "--executor", "aseq"]
+        )
+        assert args.executor == "aseq"
+        assert args.dataset == "ecommerce"
+
+
+class TestCommands:
+    def test_optimize_command_prints_plan(self, capsys):
+        exit_code = main(
+            ["optimize", "--workload", "traffic", "--duration", "60", "--rate", "5", "--seed", "3"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Sharing plan" in captured.out
+        assert "Candidates:" in captured.out
+
+    def test_run_command_prints_metrics_and_results(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--workload", "purchase",
+                "--dataset", "ecommerce",
+                "--duration", "90",
+                "--rate", "5",
+                "--executor", "sharon",
+                "--limit", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Sharon:" in captured.out
+
+    def test_run_command_with_workload_file(self, tmp_path, capsys):
+        path = tmp_path / "workload.sase"
+        path.write_text(WORKLOAD_FILE, encoding="utf-8")
+        exit_code = main(
+            [
+                "run",
+                "--workload-file", str(path),
+                "--dataset", "taxi",
+                "--duration", "90",
+                "--rate", "6",
+                "--executor", "aseq",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "A-Seq:" in captured.out
+
+    def test_datasets_command_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "events.csv"
+        exit_code = main(
+            [
+                "datasets",
+                "--dataset", "linear-road",
+                "--duration", "30",
+                "--rate", "5",
+                "--output", str(output),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert output.exists()
+        header = output.read_text(encoding="utf-8").splitlines()[0]
+        assert header.startswith("event_type,timestamp")
+        assert "linear-road:" in captured.out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["datasets", "--dataset", "nasdaq"])

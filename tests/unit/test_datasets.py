@@ -1,0 +1,187 @@
+"""Unit tests for the data set simulators and workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    ChainConfig,
+    EcommerceConfig,
+    LinearRoadConfig,
+    TaxiConfig,
+    chain_event_types,
+    chain_stream,
+    chain_workload,
+    ecommerce_schema_registry,
+    ecommerce_workload_scaled,
+    generate_ecommerce_stream,
+    generate_linear_road_stream,
+    generate_taxi_stream,
+    item_types,
+    linear_road_schema_registry,
+    segment_types,
+    taxi_schema_registry,
+    traffic_workload_scaled,
+)
+from repro.events import SlidingWindow
+
+
+class TestTaxiDataset:
+    def test_deterministic_and_schema_conform(self):
+        config = TaxiConfig(duration_seconds=30, reports_per_second=5, num_vehicles=4, seed=1)
+        one = generate_taxi_stream(config)
+        two = generate_taxi_stream(config)
+        assert [e.timestamp for e in one] == [e.timestamp for e in two]
+        assert len(one) > 0
+        registry = taxi_schema_registry(config)
+        assert registry.validate_stream(one, strict=True) == len(one)
+
+    def test_event_rate_close_to_configured(self):
+        config = TaxiConfig(duration_seconds=100, reports_per_second=10, seed=2)
+        stream = generate_taxi_stream(config)
+        assert 800 <= len(stream) <= 1200
+
+    def test_vehicles_produce_route_sequences(self):
+        config = TaxiConfig(duration_seconds=120, reports_per_second=10, num_vehicles=3, seed=3)
+        stream = generate_taxi_stream(config)
+        # At least one vehicle visits two different streets consecutively
+        # (otherwise no sequence query could ever match).
+        by_vehicle: dict[int, list[str]] = {}
+        for event in stream:
+            by_vehicle.setdefault(event.attribute("vehicle"), []).append(event.event_type)
+        assert any(len(set(streets)) > 1 for streets in by_vehicle.values())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TaxiConfig(num_vehicles=0)
+        with pytest.raises(ValueError):
+            TaxiConfig(route_length=(1, 3))
+
+
+class TestLinearRoadDataset:
+    def test_rate_ramps_up(self):
+        config = LinearRoadConfig(
+            duration_seconds=200, initial_rate=2.0, final_rate=30.0, seed=5
+        )
+        stream = generate_linear_road_stream(config)
+        first_half = stream.between(0, 100)
+        second_half = stream.between(100, 200)
+        assert len(second_half) > len(first_half) * 2
+
+    def test_schema_and_types(self):
+        config = LinearRoadConfig(duration_seconds=30, seed=6)
+        stream = generate_linear_road_stream(config)
+        registry = linear_road_schema_registry(config)
+        assert registry.validate_stream(stream, strict=True) == len(stream)
+        assert set(stream.event_types()) <= set(segment_types(config))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRoadConfig(num_segments=1)
+        with pytest.raises(ValueError):
+            LinearRoadConfig(initial_rate=0)
+
+
+class TestEcommerceDataset:
+    def test_named_items_first(self):
+        types = item_types(EcommerceConfig(num_items=12))
+        assert types[0] == "Laptop" and types[1] == "Case"
+        assert len(types) == 12
+        assert len(set(types)) == 12
+
+    def test_stream_conforms_to_schema(self):
+        config = EcommerceConfig(duration_seconds=20, purchases_per_second=5, seed=7)
+        stream = generate_ecommerce_stream(config)
+        registry = ecommerce_schema_registry(config)
+        assert registry.validate_stream(stream, strict=True) == len(stream)
+
+    def test_dependency_chains_present(self):
+        config = EcommerceConfig(
+            num_items=6, num_customers=3, duration_seconds=200, purchases_per_second=5,
+            follow_probability=0.9, seed=8
+        )
+        stream = generate_ecommerce_stream(config)
+        items = item_types(config)
+        successor = {items[i]: items[(i + 1) % len(items)] for i in range(len(items))}
+        by_customer: dict[int, list[str]] = {}
+        for event in stream:
+            by_customer.setdefault(event.attribute("customer"), []).append(event.event_type)
+        consecutive_follow = sum(
+            1
+            for purchases in by_customer.values()
+            for a, b in zip(purchases, purchases[1:])
+            if successor[a] == b
+        )
+        total_pairs = sum(max(len(p) - 1, 0) for p in by_customer.values())
+        assert consecutive_follow / total_pairs > 0.5
+
+
+class TestChainGenerators:
+    def test_chain_workload_structure(self):
+        workload = chain_workload(10, 4, ChainConfig(num_event_types=12), seed=1)
+        assert len(workload) == 10
+        assert workload.is_uniform()
+        assert all(len(q.pattern) == 4 for q in workload)
+        types = set(chain_event_types(ChainConfig(num_event_types=12)))
+        for query in workload:
+            assert set(query.pattern.event_types) <= types
+
+    def test_chain_workload_offset_pool_increases_sharing(self):
+        from repro.core import detect_sharable_patterns
+
+        spread = chain_workload(12, 5, ChainConfig(num_event_types=40), seed=3)
+        pooled = chain_workload(
+            12, 5, ChainConfig(num_event_types=40), seed=3, offset_pool_size=2
+        )
+        spread_sharable = detect_sharable_patterns(spread)
+        pooled_sharable = detect_sharable_patterns(pooled)
+        max_spread = max((len(qs) for qs in spread_sharable.values()), default=0)
+        max_pooled = max((len(qs) for qs in pooled_sharable.values()), default=0)
+        assert max_pooled >= max_spread
+
+    def test_chain_workload_validation(self):
+        with pytest.raises(ValueError):
+            chain_workload(5, 1)
+        with pytest.raises(ValueError):
+            chain_workload(5, 50, ChainConfig(num_event_types=10))
+        with pytest.raises(ValueError):
+            chain_workload(5, 3, offset_pool_size=0)
+
+    def test_chain_stream_matches_workload_types(self):
+        config = ChainConfig(num_event_types=8)
+        stream = chain_stream(duration=50, events_per_second=4, config=config, seed=2)
+        assert set(stream.event_types()) <= set(chain_event_types(config))
+        assert all("entity" in e for e in stream)
+
+    def test_chain_stream_validation(self):
+        with pytest.raises(ValueError):
+            chain_stream(duration=0, events_per_second=1)
+        with pytest.raises(ValueError):
+            chain_stream(duration=10, events_per_second=0)
+
+
+class TestScaledWorkloads:
+    def test_traffic_workload_scaled_uses_segments(self):
+        config = LinearRoadConfig(num_segments=15)
+        workload = traffic_workload_scaled(8, pattern_length=5, config=config)
+        assert len(workload) == 8
+        for query in workload:
+            assert set(query.pattern.event_types) <= set(segment_types(config))
+            assert query.predicates.equivalence_attributes == ("car",)
+
+    def test_ecommerce_workload_scaled_uses_items(self):
+        config = EcommerceConfig(num_items=30)
+        workload = ecommerce_workload_scaled(6, pattern_length=8, config=config)
+        assert len(workload) == 6
+        for query in workload:
+            assert set(query.pattern.event_types) <= set(item_types(config))
+            assert query.predicates.equivalence_attributes == ("customer",)
+
+    def test_ecommerce_workload_rejects_too_long_patterns(self):
+        with pytest.raises(ValueError, match="catalogue"):
+            ecommerce_workload_scaled(4, pattern_length=80, config=EcommerceConfig(num_items=20))
+
+    def test_paper_workloads_execute(self, traffic, purchases):
+        window = SlidingWindow(size=600, slide=60)
+        assert traffic[0].window == window
+        assert purchases[0].window.size == 1200

@@ -1,0 +1,177 @@
+"""Unit tests for the shared-online streaming engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SharingCandidate, SharingPlan
+from repro.events import EventStream, SlidingWindow, WindowInstance
+from repro.executor import CompiledWorkload, StreamingEngine
+from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
+
+from ..conftest import make_events
+
+
+def make_workload(window=None, predicates=None):
+    window = window or SlidingWindow(size=10, slide=5)
+    predicates = predicates if predicates is not None else PredicateSet()
+    queries = [
+        Query(pattern=Pattern(["A", "B"]), window=window, predicates=predicates, name="q1"),
+        Query(pattern=Pattern(["A", "B", "C"]), window=window, predicates=predicates, name="q2"),
+    ]
+    return Workload(queries)
+
+
+class TestCompiledWorkload:
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ValueError, match="empty workload"):
+            CompiledWorkload(Workload())
+
+    def test_rejects_non_uniform_workload(self):
+        queries = [
+            Query(pattern=Pattern(["A", "B"]), window=SlidingWindow(10, 5), name="u1"),
+            Query(pattern=Pattern(["A", "B"]), window=SlidingWindow(20, 5), name="u2"),
+        ]
+        with pytest.raises(ValueError, match="uniform workload"):
+            CompiledWorkload(Workload(queries))
+
+    def test_relevant_types_and_grouping(self):
+        workload = make_workload(predicates=PredicateSet.same("vehicle"))
+        compiled = CompiledWorkload(workload)
+        assert compiled.relevant_types == {"A", "B", "C"}
+        assert compiled.partition_attributes == ("vehicle",)
+        event = make_events([("A", 1, {"vehicle": 9})])[0]
+        assert compiled.group_key(event) == (9,)
+        assert compiled.is_relevant(event)
+        assert not compiled.is_relevant(make_events([("Z", 1)])[0])
+
+    def test_shared_specs_collected_per_pattern(self):
+        workload = make_workload()
+        candidate = SharingCandidate(Pattern(["A", "B"]), ("q1", "q2"), 1.0)
+        compiled = CompiledWorkload(workload, SharingPlan([candidate]))
+        assert Pattern(["A", "B"]) in compiled.shared_specs
+        assert compiled.shared_specs[Pattern(["A", "B"])] == (AggregateSpec.count_star(),)
+
+
+class TestEngineWindowing:
+    def test_tumbling_window_results(self):
+        workload = make_workload(window=SlidingWindow(size=10, slide=10))
+        engine = StreamingEngine(workload)
+        events = make_events([("A", 1), ("B", 3), ("A", 11), ("B", 12), ("C", 13)])
+        report = engine.run(EventStream(events))
+        assert report.results.value("q1", WindowInstance(0, 10)) == 1
+        assert report.results.value("q1", WindowInstance(10, 20)) == 1
+        assert report.results.value("q2", WindowInstance(0, 10)) == 0
+        assert report.results.value("q2", WindowInstance(10, 20)) == 1
+
+    def test_sliding_window_assigns_sequences_to_all_covering_windows(self):
+        workload = make_workload(window=SlidingWindow(size=10, slide=5))
+        engine = StreamingEngine(workload)
+        events = make_events([("A", 6), ("B", 8)])
+        report = engine.run(EventStream(events))
+        # The sequence (a6, b8) lies in windows [0,10) and [5,15).
+        assert report.results.value("q1", WindowInstance(0, 10)) == 1
+        assert report.results.value("q1", WindowInstance(5, 15)) == 1
+
+    def test_sequence_must_fit_in_one_window(self):
+        workload = make_workload(window=SlidingWindow(size=10, slide=5))
+        engine = StreamingEngine(workload)
+        events = make_events([("A", 2), ("B", 13)])
+        report = engine.run(EventStream(events))
+        # a2 is only in [0,10); b13 only in [5,15) and [10,20): no common window.
+        assert all(result.value == 0 for result in report.results.for_query("q1"))
+
+    def test_windows_finalized_incrementally(self):
+        workload = make_workload(window=SlidingWindow(size=10, slide=10))
+        engine = StreamingEngine(workload)
+        events = make_events([("A", 1), ("B", 2), ("A", 25)])
+        report = engine.run(EventStream(events))
+        # Two window instances saw relevant events: [0,10) and [20,30).
+        assert report.metrics.windows_finalized == 2
+
+    def test_empty_stream(self):
+        workload = make_workload()
+        report = StreamingEngine(workload).run(EventStream())
+        assert len(report.results) == 0
+        assert report.metrics.total_events == 0
+
+
+class TestEngineGroupingAndPredicates:
+    def test_equivalence_predicate_partitions_matches(self):
+        workload = make_workload(predicates=PredicateSet.same("vehicle"))
+        engine = StreamingEngine(workload)
+        events = make_events(
+            [
+                ("A", 1, {"vehicle": 1}),
+                ("B", 2, {"vehicle": 1}),
+                ("A", 3, {"vehicle": 2}),
+                ("B", 4, {"vehicle": 1}),
+            ]
+        )
+        report = engine.run(EventStream(events))
+        window = WindowInstance(0, 10)
+        assert report.results.value("q1", window, (1,)) == 2  # (a1,b2), (a1,b4)
+        assert report.results.value("q1", window, (2,)) == 0  # a3 has no same-vehicle B
+
+    def test_filter_predicate_drops_events(self):
+        predicates = PredicateSet(filters=())
+        from repro.queries import FilterPredicate
+
+        predicates = PredicateSet(filters=[FilterPredicate("speed", ">", 10)])
+        workload = make_workload(predicates=predicates)
+        engine = StreamingEngine(workload)
+        events = make_events(
+            [("A", 1, {"speed": 20}), ("B", 2, {"speed": 5}), ("B", 3, {"speed": 30})]
+        )
+        report = engine.run(EventStream(events))
+        assert report.results.value("q1", WindowInstance(0, 10)) == 1
+        assert report.metrics.relevant_events == 2
+
+    def test_group_by_attribute(self):
+        window = SlidingWindow(size=10, slide=10)
+        queries = [
+            Query(
+                pattern=Pattern(["A", "B"]),
+                window=window,
+                group_by=("route",),
+                name="g1",
+            )
+        ]
+        workload = Workload(queries)
+        engine = StreamingEngine(workload)
+        events = make_events(
+            [
+                ("A", 1, {"route": "r1"}),
+                ("B", 2, {"route": "r1"}),
+                ("A", 3, {"route": "r2"}),
+                ("B", 4, {"route": "r2"}),
+            ]
+        )
+        report = engine.run(EventStream(events))
+        assert report.results.value("g1", WindowInstance(0, 10), ("r1",)) == 1
+        assert report.results.value("g1", WindowInstance(0, 10), ("r2",)) == 1
+
+
+class TestEngineWithSharingPlan:
+    def test_shared_and_private_results_agree(self):
+        workload = make_workload(window=SlidingWindow(size=20, slide=10))
+        candidate = SharingCandidate(Pattern(["A", "B"]), ("q1", "q2"), 1.0)
+        rows = [("A", 1), ("B", 2), ("A", 3), ("B", 5), ("C", 6), ("C", 14), ("A", 15), ("B", 17)]
+        shared_report = StreamingEngine(workload, SharingPlan([candidate])).run(
+            EventStream(make_events(rows))
+        )
+        plain_report = StreamingEngine(workload).run(EventStream(make_events(rows)))
+        assert shared_report.results.matches(plain_report.results)
+        assert shared_report.plan is not None and len(shared_report.plan) == 1
+
+    def test_memory_sampling_populates_peak(self):
+        workload = make_workload()
+        engine = StreamingEngine(workload, memory_sample_interval=1)
+        rows = [("A", 1), ("B", 2), ("A", 11), ("B", 12)]
+        report = engine.run(EventStream(make_events(rows)))
+        assert report.metrics.peak_memory_bytes > 0
+
+    def test_accepts_plain_event_iterables(self):
+        workload = make_workload()
+        report = StreamingEngine(workload).run(make_events([("A", 1), ("B", 2)]))
+        assert report.metrics.total_events == 2

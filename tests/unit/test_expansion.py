@@ -1,0 +1,153 @@
+"""Unit tests for sharing conflict resolution (Algorithms 5 and 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConflictDetector,
+    SharingCandidate,
+    build_sharon_graph,
+    expand_candidate,
+    expand_sharon_graph,
+    find_optimal_plan,
+    reduce_sharon_graph,
+)
+from repro.events import SlidingWindow
+from repro.queries import Pattern, Query, Workload
+from repro.utils import RateCatalog
+
+from ..conftest import paper_benefit
+
+
+def make_workload(patterns: dict[str, tuple[str, ...]]) -> Workload:
+    window = SlidingWindow(size=10, slide=5)
+    return Workload(
+        [Query(pattern=Pattern(p), window=window, name=n) for n, p in patterns.items()]
+    )
+
+
+class TestExpandCandidate:
+    def test_example_13_option_resolves_conflict(self, traffic, paper_graph):
+        """Dropping q3, q4 from p1's query set resolves its conflict with p2/p3."""
+        detector = ConflictDetector(traffic)
+        p1 = next(
+            v for v in paper_graph.vertices if v.pattern.event_types == ("OakSt", "MainSt")
+        )
+        options = expand_candidate(paper_graph, detector, p1, benefit_of=lambda c: 1.0)
+        option_query_sets = {o.query_set for o in options}
+        assert frozenset({"q1", "q2", "q3", "q4"}) in option_query_sets  # the original
+        assert frozenset({"q1", "q2"}) in option_query_sets  # Figure 11's child
+        # Every option keeps at least two queries and the original pattern.
+        assert all(len(o.query_names) >= 2 for o in options)
+        assert all(o.pattern == p1.pattern for o in options)
+
+    def test_conflict_free_candidate_has_single_option(self, traffic, paper_graph):
+        detector = ConflictDetector(traffic)
+        p7 = next(
+            v for v in paper_graph.vertices if v.pattern.event_types == ("ElmSt", "ParkAve")
+        )
+        options = expand_candidate(paper_graph, detector, p7, benefit_of=lambda c: 1.0)
+        assert options == [p7]
+
+    def test_max_options_cap(self, traffic, paper_graph):
+        detector = ConflictDetector(traffic)
+        p1 = next(
+            v for v in paper_graph.vertices if v.pattern.event_types == ("OakSt", "MainSt")
+        )
+        options = expand_candidate(
+            paper_graph, detector, p1, benefit_of=lambda c: 1.0, max_options=2
+        )
+        assert len(options) <= 2
+
+    def test_options_are_unique(self, traffic, paper_graph):
+        detector = ConflictDetector(traffic)
+        for vertex in paper_graph.vertices:
+            options = expand_candidate(paper_graph, detector, vertex, benefit_of=lambda c: 1.0)
+            assert len({o.query_set for o in options}) == len(options)
+
+
+class TestExpandSharonGraph:
+    def test_expanded_graph_contains_originals_and_options(self, traffic, paper_graph):
+        expanded = expand_sharon_graph(paper_graph, traffic, benefit_of=lambda c: 1.0)
+        assert len(expanded) >= len(paper_graph)
+        original_keys = {(v.pattern, v.query_set) for v in paper_graph.vertices}
+        expanded_keys = {(v.pattern, v.query_set) for v in expanded.vertices}
+        assert original_keys <= expanded_keys
+
+    def test_non_beneficial_options_dropped(self, traffic, paper_graph):
+        # Generated options covering fewer than 3 queries are declared
+        # non-beneficial and must not appear in the expanded graph (the
+        # original candidates keep the weight they were built with).
+        def benefit(candidate: SharingCandidate) -> float:
+            return 1.0 if len(candidate.query_names) >= 3 else 0.0
+
+        expanded = expand_sharon_graph(paper_graph, traffic, benefit_of=benefit)
+        originals = {(v.pattern, v.query_set) for v in paper_graph.vertices}
+        generated = [
+            v for v in expanded.vertices if (v.pattern, v.query_set) not in originals
+        ]
+        assert generated, "the paper graph has conflicts, so options must be generated"
+        assert all(len(v.query_names) >= 3 for v in generated)
+
+    def test_requires_model_or_function(self, traffic, paper_graph):
+        with pytest.raises(ValueError, match="BenefitModel or a benefit function"):
+            expand_sharon_graph(paper_graph, traffic)
+
+    def test_same_pattern_options_conflict_iff_queries_overlap(self):
+        workload = make_workload(
+            {
+                "q1": ("A", "B", "C"),
+                "q2": ("A", "B", "D"),
+                "q3": ("Z", "A", "B"),
+                "q4": ("Y", "A", "B"),
+            }
+        )
+        graph = build_sharon_graph(
+            workload, RateCatalog(default_rate=1.0), benefit_override=lambda c: 1.0
+        )
+        expanded = expand_sharon_graph(graph, workload, benefit_of=lambda c: 1.0)
+        detector = ConflictDetector(workload)
+        same_pattern = [
+            v for v in expanded.vertices if v.pattern == Pattern(["A", "B"])
+        ]
+        for i, first in enumerate(same_pattern):
+            for second in same_pattern[i + 1 :]:
+                assert expanded.has_edge(first, second) == bool(first.query_set & second.query_set)
+                assert detector.in_conflict(first, second) == bool(
+                    first.query_set & second.query_set
+                )
+
+    def test_expansion_can_improve_the_optimal_plan(self):
+        """Section 7.1's motivation: resolving conflicts opens opportunities.
+
+        (A, B) is shared by q1-q4 and conflicts with (B, C) only through q4.
+        Restricting (A, B) to {q1, q2, q3} resolves the conflict, so both
+        patterns can be shared simultaneously — which beats every plan over
+        the unexpanded graph.
+        """
+        workload = make_workload(
+            {
+                "q1": ("A", "B", "X"),
+                "q2": ("A", "B", "Y"),
+                "q3": ("A", "B", "W"),
+                "q4": ("A", "B", "C"),
+                "q5": ("Z", "B", "C"),
+            }
+        )
+
+        def benefit(candidate: SharingCandidate) -> float:
+            # Benefit proportional to the number of sharing queries.
+            return float(len(candidate.query_names))
+
+        graph = build_sharon_graph(
+            workload, RateCatalog(default_rate=1.0), benefit_override=benefit
+        )
+        unexpanded_best = find_optimal_plan(graph).score
+
+        expanded = expand_sharon_graph(graph, workload, benefit_of=benefit)
+        reduction = reduce_sharon_graph(expanded)
+        expanded_best = find_optimal_plan(
+            reduction.reduced_graph, reduction.conflict_free
+        ).score
+        assert expanded_best > unexpanded_best

@@ -1,0 +1,83 @@
+"""Unit tests for the GWMIN greedy MWIS algorithm (Algorithm 8)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import SharingCandidate, SharonGraph, gwmin_independent_set, gwmin_plan
+from repro.queries import Pattern
+
+
+def candidate(index, benefit, queries=("q1", "q2")):
+    return SharingCandidate(Pattern([f"A{index}", f"B{index}"]), tuple(queries), benefit)
+
+
+def build_graph(weights, edges):
+    vertices = [candidate(i, w) for i, w in enumerate(weights)]
+    graph = SharonGraph(vertices)
+    for i, j in edges:
+        graph.add_edge(vertices[i], vertices[j])
+    return graph, vertices
+
+
+class TestGwminBasics:
+    def test_empty_graph(self):
+        assert gwmin_independent_set(SharonGraph()) == []
+        assert gwmin_plan(SharonGraph()).is_empty
+
+    def test_conflict_free_graph_selects_everything(self):
+        graph, vertices = build_graph([3.0, 5.0, 1.0], [])
+        assert set(gwmin_independent_set(graph)) == set(vertices)
+
+    def test_returns_independent_set(self):
+        graph, vertices = build_graph([3.0, 5.0, 4.0, 2.0], [(0, 1), (1, 2), (2, 3)])
+        selected = gwmin_independent_set(graph)
+        assert graph.is_independent_set(selected)
+
+    def test_greedy_ratio_selection(self):
+        # Vertex 1 has the best weight/(degree+1) ratio and must be picked first.
+        graph, vertices = build_graph([4.0, 9.0, 4.0], [(0, 1), (1, 2)])
+        selected = gwmin_independent_set(graph)
+        assert selected[0] == vertices[1]
+        assert set(selected) == {vertices[1]}
+
+    def test_weight_guarantee_holds(self):
+        # Equation 10 on several topologies.
+        topologies = [
+            ([5.0, 4.0, 3.0, 2.0], [(0, 1), (1, 2), (2, 3), (3, 0)]),
+            ([10.0, 1.0, 1.0, 1.0], [(0, 1), (0, 2), (0, 3)]),
+            ([2.0, 2.0, 2.0], [(0, 1), (1, 2), (0, 2)]),
+        ]
+        for weights, edges in topologies:
+            graph, _ = build_graph(weights, edges)
+            selected = gwmin_independent_set(graph)
+            total = sum(v.benefit for v in selected)
+            assert total >= graph.gwmin_guaranteed_weight() - 1e-9
+
+    def test_graph_not_modified(self):
+        graph, _ = build_graph([3.0, 5.0], [(0, 1)])
+        gwmin_independent_set(graph)
+        assert len(graph) == 2
+        assert graph.edge_count == 1
+
+
+class TestGwminOnPaperExample:
+    def test_greedy_plan_of_example_12(self, paper_graph):
+        """GWMIN picks p7 (ratio 18) then p1 (ratio 25/6), total score 43."""
+        plan = gwmin_plan(paper_graph)
+        chosen = {c.pattern.event_types for c in plan}
+        assert chosen == {("ElmSt", "ParkAve"), ("OakSt", "MainSt")}
+        assert plan.score == pytest.approx(43.0)
+
+    def test_greedy_is_suboptimal_on_paper_example(self, paper_graph):
+        """The optimal plan scores 50 (Example 12); brute force confirms it."""
+        vertices = paper_graph.vertices
+        best = 0.0
+        for size in range(len(vertices) + 1):
+            for subset in itertools.combinations(vertices, size):
+                if paper_graph.is_independent_set(subset):
+                    best = max(best, sum(v.benefit for v in subset))
+        assert best == pytest.approx(50.0)
+        assert gwmin_plan(paper_graph).score < best

@@ -1,0 +1,106 @@
+"""Unit tests for the optimizer front-ends (Greedy, Exhaustive, Sharon)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConflictDetector,
+    ExhaustiveOptimizer,
+    GreedyOptimizer,
+    SharonOptimizer,
+)
+from repro.datasets import chain_workload, traffic_workload
+from repro.utils import RateCatalog
+
+from ..conftest import paper_benefit
+
+
+@pytest.fixture
+def placeholder_rates():
+    return RateCatalog(default_rate=1.0)
+
+
+class TestGreedyOptimizer:
+    def test_produces_valid_plan_and_phases(self, traffic, placeholder_rates):
+        result = GreedyOptimizer(placeholder_rates, benefit_override=paper_benefit).optimize(
+            traffic
+        )
+        assert result.plan.is_valid(ConflictDetector(traffic))
+        assert result.plan.score == pytest.approx(43.0)  # Example 12
+        assert set(result.phase_seconds) == {"graph construction", "GWMIN"}
+        assert result.candidates_total == 7
+        assert result.total_seconds > 0
+        assert result.peak_bytes > 0
+
+    def test_works_with_real_benefit_model(self, traffic):
+        rates = RateCatalog.uniform(traffic.event_types(), 1.0)
+        result = GreedyOptimizer(rates).optimize(traffic)
+        assert result.plan.is_valid(ConflictDetector(traffic))
+
+
+class TestSharonOptimizer:
+    def test_finds_optimal_plan_on_paper_example(self, traffic, placeholder_rates):
+        result = SharonOptimizer(placeholder_rates, benefit_override=paper_benefit).optimize(
+            traffic
+        )
+        assert result.plan.score == pytest.approx(50.0)  # Example 12
+        assert result.plan.is_valid(ConflictDetector(traffic))
+        assert result.candidates_total == 7
+        assert result.candidates_after_reduction <= 5
+        assert not result.used_fallback
+        assert "graph reduction" in result.phase_seconds
+        assert "plan finder" in result.phase_seconds
+
+    def test_beats_or_matches_greedy(self, traffic, placeholder_rates):
+        greedy = GreedyOptimizer(placeholder_rates, benefit_override=paper_benefit).optimize(
+            traffic
+        )
+        sharon = SharonOptimizer(placeholder_rates, benefit_override=paper_benefit).optimize(
+            traffic
+        )
+        assert sharon.plan.score >= greedy.plan.score
+
+    def test_expansion_phase_recorded_when_enabled(self, traffic, placeholder_rates):
+        result = SharonOptimizer(
+            placeholder_rates, expand=True, benefit_override=paper_benefit
+        ).optimize(traffic)
+        assert "graph expansion" in result.phase_seconds
+        assert result.candidates_after_expansion >= result.candidates_total
+        assert result.plan.score >= 50.0
+
+    def test_time_budget_falls_back_to_greedy(self):
+        workload = chain_workload(24, 8, seed=2)
+        rates = RateCatalog.uniform(workload.event_types(), 1.0)
+        result = SharonOptimizer(rates, time_budget_seconds=1e-9).optimize(workload)
+        assert result.used_fallback
+        assert result.plan.is_valid(ConflictDetector(workload))
+
+    def test_empty_plan_for_workload_without_sharing(self, uniform_query_factory):
+        from repro.queries import Workload
+
+        workload = Workload(
+            [uniform_query_factory(["A", "B"], "q1"), uniform_query_factory(["C", "D"], "q2")]
+        )
+        rates = RateCatalog.uniform(["A", "B", "C", "D"], 1.0)
+        result = SharonOptimizer(rates).optimize(workload)
+        assert result.plan.is_empty
+
+
+class TestExhaustiveOptimizer:
+    def test_matches_sharon_on_paper_example(self, traffic, placeholder_rates):
+        exhaustive = ExhaustiveOptimizer(
+            placeholder_rates, benefit_override=paper_benefit
+        ).optimize(traffic)
+        sharon = SharonOptimizer(placeholder_rates, benefit_override=paper_benefit).optimize(
+            traffic
+        )
+        assert exhaustive.plan.score == pytest.approx(sharon.plan.score)
+        assert exhaustive.plans_considered == 2 ** 7
+
+    def test_refuses_oversized_search(self, placeholder_rates):
+        workload = chain_workload(30, 6, seed=4)
+        rates = RateCatalog.uniform(workload.event_types(), 1.0)
+        optimizer = ExhaustiveOptimizer(rates, max_candidates=10)
+        with pytest.raises(RuntimeError, match="would not terminate"):
+            optimizer.optimize(workload)

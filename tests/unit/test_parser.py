@@ -1,0 +1,108 @@
+"""Unit tests for the SASE-style query parser (repro.queries.parser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries import AggregationKind, QueryParseError, parse_query
+
+
+class TestParserHappyPath:
+    def test_full_query(self):
+        query = parse_query(
+            "RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WHERE [vehicle] "
+            "GROUP BY route WITHIN 600 SLIDE 60",
+            name="q1",
+        )
+        assert query.name == "q1"
+        assert query.pattern.event_types == ("OakSt", "MainSt")
+        assert query.aggregate.kind == AggregationKind.COUNT_STAR
+        assert query.predicates.equivalence_attributes == ("vehicle",)
+        assert query.group_by == ("route",)
+        assert query.window.size == 600
+        assert query.window.slide == 60
+
+    def test_minimal_query_defaults(self):
+        query = parse_query("PATTERN SEQ(A, B) WITHIN 10")
+        assert query.aggregate.kind == AggregationKind.COUNT_STAR
+        assert query.predicates.is_empty
+        assert query.group_by == ()
+        assert query.window.slide == 10  # defaults to tumbling
+
+    def test_multiline_and_case_insensitive(self):
+        query = parse_query(
+            """
+            return count(*)
+            pattern seq(Laptop, Case)
+            where [customer]
+            within 1200 slide 60
+            """.strip()
+        )
+        assert query.pattern.event_types == ("Laptop", "Case")
+
+    def test_attribute_aggregates(self):
+        assert parse_query("RETURN SUM(B.price) PATTERN SEQ(A,B) WITHIN 5").aggregate.kind == "SUM"
+        assert parse_query("RETURN AVG(B.price) PATTERN SEQ(A,B) WITHIN 5").aggregate.kind == "AVG"
+        assert parse_query("RETURN MIN(B.price) PATTERN SEQ(A,B) WITHIN 5").aggregate.kind == "MIN"
+        assert parse_query("RETURN MAX(B.price) PATTERN SEQ(A,B) WITHIN 5").aggregate.kind == "MAX"
+        count_e = parse_query("RETURN COUNT(B) PATTERN SEQ(A,B) WITHIN 5").aggregate
+        assert count_e.kind == AggregationKind.COUNT and count_e.event_type == "B"
+
+    def test_filter_predicates(self):
+        query = parse_query(
+            "PATTERN SEQ(Laptop, Case) WHERE [customer] AND Laptop.price > 1000 WITHIN 60"
+        )
+        assert len(query.predicates.filters) == 1
+        filter_predicate = query.predicates.filters[0]
+        assert filter_predicate.event_type == "Laptop"
+        assert filter_predicate.attribute == "price"
+        assert filter_predicate.value == 1000
+
+    def test_literal_parsing(self):
+        query = parse_query("PATTERN SEQ(A,B) WHERE speed >= 12.5 AND lane != fast WITHIN 60")
+        assert query.predicates.filters[0].value == 12.5
+        assert query.predicates.filters[1].value == "fast"
+
+
+class TestParserErrors:
+    def test_missing_pattern(self):
+        with pytest.raises(QueryParseError, match="PATTERN"):
+            parse_query("RETURN COUNT(*) WITHIN 10")
+
+    def test_missing_within(self):
+        with pytest.raises(QueryParseError, match="WITHIN"):
+            parse_query("PATTERN SEQ(A, B)")
+
+    def test_bad_pattern_clause(self):
+        with pytest.raises(QueryParseError, match="SEQ"):
+            parse_query("PATTERN (A, B) WITHIN 10")
+
+    def test_empty_pattern(self):
+        with pytest.raises(QueryParseError):
+            parse_query("PATTERN SEQ() WITHIN 10")
+
+    def test_bad_return_clause(self):
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN TOTAL(x) PATTERN SEQ(A,B) WITHIN 10")
+
+    def test_sum_requires_dotted_argument(self):
+        with pytest.raises(QueryParseError, match="EventType.attribute"):
+            parse_query("RETURN SUM(price) PATTERN SEQ(A,B) WITHIN 10")
+
+    def test_bad_where_term(self):
+        with pytest.raises(QueryParseError, match="WHERE term"):
+            parse_query("PATTERN SEQ(A,B) WHERE vehicle ~~ 3 WITHIN 10")
+
+    def test_bad_window_values(self):
+        with pytest.raises(QueryParseError):
+            parse_query("PATTERN SEQ(A,B) WITHIN soon")
+        with pytest.raises(QueryParseError):
+            parse_query("PATTERN SEQ(A,B) WITHIN 10 SLIDE often")
+
+    def test_duplicate_clause(self):
+        with pytest.raises(QueryParseError, match="duplicate"):
+            parse_query("PATTERN SEQ(A,B) PATTERN SEQ(B,C) WITHIN 10")
+
+    def test_text_before_first_clause(self):
+        with pytest.raises(QueryParseError, match="before first clause"):
+            parse_query("SELECT PATTERN SEQ(A,B) WITHIN 10")

@@ -1,0 +1,81 @@
+"""Unit tests for query predicates (repro.queries.predicates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import Event
+from repro.queries import EquivalencePredicate, FilterPredicate, PredicateSet
+
+
+class TestEquivalencePredicate:
+    def test_key_of_reads_attribute(self):
+        predicate = EquivalencePredicate("vehicle")
+        assert predicate.key_of(Event("A", 0, {"vehicle": 7})) == 7
+        assert predicate.key_of(Event("A", 0)) is None
+
+
+class TestFilterPredicate:
+    def test_comparison_operators(self):
+        event = Event("A", 0, {"price": 10})
+        assert FilterPredicate("price", ">", 5).matches(event)
+        assert FilterPredicate("price", ">=", 10).matches(event)
+        assert FilterPredicate("price", "<", 11).matches(event)
+        assert FilterPredicate("price", "<=", 10).matches(event)
+        assert FilterPredicate("price", "=", 10).matches(event)
+        assert FilterPredicate("price", "==", 10).matches(event)
+        assert FilterPredicate("price", "!=", 3).matches(event)
+        assert not FilterPredicate("price", ">", 10).matches(event)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="operator"):
+            FilterPredicate("price", "~", 1)
+
+    def test_missing_attribute_fails_filter(self):
+        assert not FilterPredicate("price", ">", 5).matches(Event("A", 0))
+
+    def test_event_type_scoping(self):
+        predicate = FilterPredicate("price", ">", 100, event_type="Laptop")
+        assert predicate.matches(Event("Laptop", 0, {"price": 500}))
+        assert not predicate.matches(Event("Laptop", 0, {"price": 50}))
+        # Other event types pass regardless of the attribute value.
+        assert predicate.matches(Event("Case", 0, {"price": 5}))
+
+
+class TestPredicateSet:
+    def test_same_constructor(self):
+        predicates = PredicateSet.same("vehicle")
+        assert predicates.equivalence_attributes == ("vehicle",)
+        assert not predicates.is_empty
+
+    def test_empty_set(self):
+        predicates = PredicateSet()
+        assert predicates.is_empty
+        assert predicates.accepts(Event("A", 0))
+        assert predicates.partition_key(Event("A", 0)) == ()
+
+    def test_accepts_applies_all_filters(self):
+        predicates = PredicateSet(
+            filters=[FilterPredicate("price", ">", 5), FilterPredicate("price", "<", 20)]
+        )
+        assert predicates.accepts(Event("A", 0, {"price": 10}))
+        assert not predicates.accepts(Event("A", 0, {"price": 30}))
+
+    def test_partition_key_combines_equivalences(self):
+        predicates = PredicateSet.same("vehicle", "lane")
+        key = predicates.partition_key(Event("A", 0, {"vehicle": 2, "lane": 1}))
+        assert key == (2, 1)
+
+    def test_accepts_sequence_checks_equivalence(self):
+        predicates = PredicateSet.same("vehicle")
+        same = [Event("A", 0, {"vehicle": 1}), Event("B", 1, {"vehicle": 1})]
+        different = [Event("A", 0, {"vehicle": 1}), Event("B", 1, {"vehicle": 2})]
+        assert predicates.accepts_sequence(same)
+        assert not predicates.accepts_sequence(different)
+
+    def test_accepts_sequence_checks_filters(self):
+        predicates = PredicateSet(filters=[FilterPredicate("price", ">", 5)])
+        good = [Event("A", 0, {"price": 6}), Event("B", 1, {"price": 7})]
+        bad = [Event("A", 0, {"price": 6}), Event("B", 1, {"price": 1})]
+        assert predicates.accepts_sequence(good)
+        assert not predicates.accepts_sequence(bad)

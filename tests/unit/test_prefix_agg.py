@@ -1,0 +1,143 @@
+"""Unit tests for the online prefix-aggregation building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import Event
+from repro.executor import PrivateSegmentState, SharedSegmentState
+from repro.queries import AggregateSpec, AggregateState, Pattern
+
+from ..conftest import make_events
+
+COUNT = AggregateSpec.count_star()
+
+
+def feed(state, rows, carry=AggregateState.unit):
+    """Feed events batched by timestamp into a private segment state."""
+    events = make_events(rows)
+    index = 0
+    while index < len(events):
+        end = index
+        while end < len(events) and events[end].timestamp == events[index].timestamp:
+            end += 1
+        state.stage_batch(events[index:end], carry)
+        state.commit()
+        index = end
+
+
+def feed_shared(state, rows):
+    events = make_events(rows)
+    index = 0
+    while index < len(events):
+        end = index
+        while end < len(events) and events[end].timestamp == events[index].timestamp:
+            end += 1
+        state.stage_batch(events[index:end])
+        state.commit()
+        index = end
+
+
+class TestPrivateSegmentState:
+    def test_figure_6a_prefix_counting(self):
+        """Figure 6(a): count(A, B) over a1 b2 a3 b4 b5 is 1, 3, 5."""
+        state = PrivateSegmentState(Pattern(["A", "B"]), COUNT)
+        feed(state, [("A", 1)])
+        assert state.chain_value().count == 0
+        feed(state, [("B", 2)])
+        assert state.chain_value().count == 1
+        feed(state, [("A", 3)])
+        assert state.chain_value().count == 1
+        feed(state, [("B", 4)])
+        assert state.chain_value().count == 3
+        feed(state, [("B", 5)])
+        assert state.chain_value().count == 5
+
+    def test_irrelevant_events_ignored(self):
+        state = PrivateSegmentState(Pattern(["A", "B"]), COUNT)
+        feed(state, [("A", 1), ("X", 2), ("B", 3), ("Y", 4)])
+        assert state.chain_value().count == 1
+
+    def test_same_timestamp_events_do_not_chain(self):
+        state = PrivateSegmentState(Pattern(["A", "B"]), COUNT)
+        feed(state, [("A", 1), ("B", 1)])
+        assert state.chain_value().count == 0
+        feed(state, [("B", 2)])
+        assert state.chain_value().count == 1
+
+    def test_carry_scales_new_start_events(self):
+        # The carry represents 3 upstream matches completed so far.
+        state = PrivateSegmentState(Pattern(["A", "B"]), COUNT)
+        carry = lambda: AggregateState(count=3)
+        feed(state, [("A", 1), ("B", 2)], carry=carry)
+        assert state.chain_value().count == 3
+
+    def test_length_one_segment(self):
+        state = PrivateSegmentState(Pattern(["A"]), COUNT)
+        feed(state, [("A", 1), ("A", 2), ("B", 3)])
+        assert state.chain_value().count == 2
+
+    def test_repeated_type_in_segment(self):
+        state = PrivateSegmentState(Pattern(["A", "A"]), COUNT)
+        feed(state, [("A", 1), ("A", 2), ("A", 3)])
+        # Matches: (a1,a2), (a1,a3), (a2,a3).
+        assert state.chain_value().count == 3
+
+    def test_sum_aggregate_tracked(self):
+        spec = AggregateSpec.sum("B", "price")
+        state = PrivateSegmentState(Pattern(["A", "B"]), spec)
+        feed(
+            state,
+            [("A", 1), ("B", 2, {"price": 10.0}), ("B", 3, {"price": 5.0})],
+        )
+        # Sequences (a1,b2) and (a1,b3): total price 15.
+        value = state.chain_value()
+        assert value.count == 2
+        assert value.total == 15.0
+
+    def test_updates_counter_increments(self):
+        state = PrivateSegmentState(Pattern(["A", "B"]), COUNT)
+        feed(state, [("A", 1), ("B", 2), ("B", 3)])
+        assert state.updates == 3
+
+    def test_commit_without_stage_is_noop(self):
+        state = PrivateSegmentState(Pattern(["A", "B"]), COUNT)
+        state.commit()
+        assert state.chain_value().count == 0
+
+
+class TestSharedSegmentState:
+    def test_anchor_per_start_event(self):
+        """Figure 7: counts are maintained per START event of the shared pattern."""
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT])
+        feed_shared(state, [("C", 3), ("D", 4), ("C", 7), ("D", 8)])
+        assert len(state.anchors) == 2
+        first, second = state.anchors
+        assert first.completed(COUNT).count == 2  # (c3,d4), (c3,d8)
+        assert second.completed(COUNT).count == 1  # (c7,d8)
+        assert state.total_completed(COUNT).count == 3
+
+    def test_requires_at_least_one_spec(self):
+        with pytest.raises(ValueError):
+            SharedSegmentState(Pattern(["A", "B"]), [])
+
+    def test_handles_checks_pattern_types(self):
+        state = SharedSegmentState(Pattern(["A", "B"]), [COUNT])
+        assert state.handles(Event("A", 1))
+        assert not state.handles(Event("X", 1))
+
+    def test_multiple_specs_tracked_independently(self):
+        total = AggregateSpec.sum("D", "price")
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT, total])
+        feed_shared(state, [("C", 1), ("D", 2, {"price": 4.0}), ("D", 3, {"price": 6.0})])
+        assert state.total_completed(COUNT).count == 2
+        assert state.total_completed(total).total == 10.0
+
+    def test_same_timestamp_anchor_not_extended_by_batch(self):
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT])
+        feed_shared(state, [("C", 5), ("D", 5)])
+        assert state.total_completed(COUNT).count == 0
+
+    def test_duplicate_specs_deduplicated(self):
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT, COUNT])
+        assert state.specs == (COUNT,)

@@ -1,0 +1,102 @@
+"""Unit tests for the query model (repro.queries.query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import Event, SlidingWindow
+from repro.queries import AggregateSpec, Pattern, PredicateSet, Query
+
+
+def make_query(**overrides):
+    defaults = dict(
+        pattern=Pattern(["A", "B", "C"]),
+        window=SlidingWindow(size=10, slide=5),
+        aggregate=AggregateSpec.count_star(),
+        predicates=PredicateSet.same("vehicle"),
+        group_by=("route",),
+        name="q_test",
+    )
+    defaults.update(overrides)
+    return Query(**defaults)
+
+
+class TestQueryConstruction:
+    def test_fields(self):
+        query = make_query()
+        assert query.event_types == ("A", "B", "C")
+        assert query.length == 3
+        assert query.name == "q_test"
+
+    def test_pattern_coerced_from_sequence(self):
+        query = Query(pattern=["A", "B"], window=SlidingWindow(4, 2), name="q")
+        assert isinstance(query.pattern, Pattern)
+
+    def test_auto_names_are_unique(self):
+        first = Query(pattern=["A", "B"], window=SlidingWindow(4, 2))
+        second = Query(pattern=["A", "B"], window=SlidingWindow(4, 2))
+        assert first.name != second.name
+
+
+class TestGrouping:
+    def test_grouping_key_combines_group_by_and_equivalence(self):
+        query = make_query()
+        event = Event("A", 0, {"route": "r1", "vehicle": 9})
+        assert query.grouping_key(event) == ("r1", 9)
+        assert query.partition_attributes == ("route", "vehicle")
+
+    def test_missing_attributes_become_none(self):
+        query = make_query()
+        assert query.grouping_key(Event("A", 0)) == (None, None)
+
+
+class TestRelevanceAndContext:
+    def test_accepts_checks_type_and_filters(self):
+        query = make_query()
+        assert query.accepts(Event("A", 0))
+        assert not query.accepts(Event("Z", 0))
+
+    def test_same_context_as(self):
+        query = make_query()
+        same = make_query(name="other", pattern=Pattern(["X", "Y"]))
+        different_window = make_query(name="w", window=SlidingWindow(size=20, slide=5))
+        assert query.same_context_as(same)
+        assert not query.same_context_as(different_window)
+
+    def test_with_pattern_preserves_context(self):
+        query = make_query()
+        derived = query.with_pattern(["X", "Y"], name="derived")
+        assert derived.pattern == Pattern(["X", "Y"])
+        assert derived.window == query.window
+        assert derived.predicates == query.predicates
+        assert derived.name == "derived"
+
+
+class TestMatchesSequence:
+    def test_valid_match(self):
+        query = make_query(group_by=(), predicates=PredicateSet.same("vehicle"))
+        events = [
+            Event("A", 1, {"vehicle": 1}),
+            Event("B", 2, {"vehicle": 1}),
+            Event("C", 4, {"vehicle": 1}),
+        ]
+        assert query.matches_sequence(events)
+
+    def test_wrong_length_or_types(self):
+        query = make_query(group_by=(), predicates=PredicateSet())
+        assert not query.matches_sequence([Event("A", 1), Event("B", 2)])
+        assert not query.matches_sequence([Event("A", 1), Event("B", 2), Event("D", 3)])
+
+    def test_timestamps_must_strictly_increase(self):
+        query = make_query(group_by=(), predicates=PredicateSet())
+        events = [Event("A", 1), Event("B", 1), Event("C", 2)]
+        assert not query.matches_sequence(events)
+
+    def test_equivalence_predicate_enforced(self):
+        query = make_query(group_by=(), predicates=PredicateSet.same("vehicle"))
+        events = [
+            Event("A", 1, {"vehicle": 1}),
+            Event("B", 2, {"vehicle": 2}),
+            Event("C", 3, {"vehicle": 1}),
+        ]
+        assert not query.matches_sequence(events)

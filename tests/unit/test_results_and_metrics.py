@@ -1,0 +1,121 @@
+"""Unit tests for result sets and runtime metrics."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.events import WindowInstance
+from repro.executor import MetricsCollector, QueryResult, ResultSet
+
+
+W1 = WindowInstance(0, 10)
+W2 = WindowInstance(5, 15)
+
+
+class TestResultSet:
+    def test_add_and_lookup(self):
+        results = ResultSet([QueryResult("q1", W1, (), 3)])
+        assert len(results) == 1
+        assert results.get("q1", W1) is not None
+        assert results.value("q1", W1) == 3
+        assert results.value("q1", W2) == 0
+        assert results.value("q1", W2, default=None) is None
+        assert ("q1", W1, ()) in results
+
+    def test_last_added_wins_for_same_key(self):
+        results = ResultSet()
+        results.add(QueryResult("q1", W1, (), 3))
+        results.add(QueryResult("q1", W1, (), 5))
+        assert len(results) == 1
+        assert results.value("q1", W1) == 5
+
+    def test_per_query_and_per_window_views(self):
+        results = ResultSet(
+            [
+                QueryResult("q1", W1, (), 1),
+                QueryResult("q1", W2, (), 2),
+                QueryResult("q2", W1, (), 3),
+            ]
+        )
+        assert len(results.for_query("q1")) == 2
+        assert len(results.for_window(W1)) == 2
+        assert results.query_names() == ("q1", "q2")
+
+    def test_nonzero_filters_zero_and_none(self):
+        results = ResultSet(
+            [
+                QueryResult("q1", W1, (), 0),
+                QueryResult("q2", W1, (), None),
+                QueryResult("q3", W1, (), 4),
+            ]
+        )
+        assert [r.query_name for r in results.nonzero()] == ["q3"]
+
+    def test_matches_treats_zero_and_missing_as_equal(self):
+        left = ResultSet([QueryResult("q1", W1, (), 0), QueryResult("q2", W1, (), 2)])
+        right = ResultSet([QueryResult("q2", W1, (), 2)])
+        assert left.matches(right)
+        assert right.matches(left)
+
+    def test_matches_detects_differences(self):
+        left = ResultSet([QueryResult("q1", W1, (), 1)])
+        right = ResultSet([QueryResult("q1", W1, (), 2)])
+        assert not left.matches(right)
+        differences = left.differences(right)
+        assert differences == [(("q1", W1, ()), 1, 2)]
+
+    def test_matches_with_float_tolerance(self):
+        left = ResultSet([QueryResult("q1", W1, (), 1.0)])
+        right = ResultSet([QueryResult("q1", W1, (), 1.0 + 1e-12)])
+        assert left.matches(right)
+
+    def test_group_key_part_of_identity(self):
+        results = ResultSet(
+            [QueryResult("q1", W1, (1,), 5), QueryResult("q1", W1, (2,), 7)]
+        )
+        assert len(results) == 2
+        assert results.value("q1", W1, (2,)) == 7
+
+
+class TestMetricsCollector:
+    def test_counters_and_rates(self):
+        collector = MetricsCollector("test")
+        collector.start()
+        for index in range(10):
+            collector.count_event(relevant=index % 2 == 0)
+        collector.count_window(results=3)
+        collector.count_window(results=2)
+        time.sleep(0.01)
+        metrics = collector.finish()
+        assert metrics.total_events == 10
+        assert metrics.relevant_events == 5
+        assert metrics.windows_finalized == 2
+        assert metrics.results_emitted == 5
+        assert metrics.elapsed_seconds > 0
+        assert metrics.throughput_events_per_second > 0
+        assert metrics.avg_latency_ms > 0
+        assert "test" in metrics.summary()
+
+    def test_memory_sampling_interval(self):
+        collector = MetricsCollector("test", memory_sample_interval=2)
+        collector.maybe_sample_memory([1] * 100)  # finalization 1: skipped
+        assert collector._memory.peak_bytes == 0
+        collector.maybe_sample_memory([1] * 100)  # finalization 2: sampled
+        assert collector._memory.peak_bytes > 0
+
+    def test_memory_sampling_disabled(self):
+        collector = MetricsCollector("test", memory_sample_interval=0)
+        collector.maybe_sample_memory([1] * 100)
+        assert collector.finish().peak_memory_bytes == 0
+
+    def test_record_memory_bytes(self):
+        collector = MetricsCollector("test")
+        collector.record_memory_bytes(12345)
+        assert collector.finish().peak_memory_bytes == 12345
+
+    def test_zero_windows_latency_does_not_divide_by_zero(self):
+        metrics = MetricsCollector("test").finish()
+        assert metrics.avg_latency_ms == 0.0
+        assert metrics.throughput_events_per_second == 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for event schemas (repro.events.schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import AttributeSpec, Event, EventSchema, SchemaRegistry, SchemaValidationError
+
+
+class TestAttributeSpec:
+    def test_validate_accepts_matching_domain(self):
+        AttributeSpec("vehicle", int).validate(3)
+
+    def test_validate_rejects_wrong_domain(self):
+        with pytest.raises(SchemaValidationError, match="vehicle"):
+            AttributeSpec("vehicle", int).validate("three")
+
+    def test_object_domain_accepts_anything(self):
+        AttributeSpec("anything").validate(object())
+
+
+class TestEventSchema:
+    def test_validate_accepts_conforming_event(self):
+        schema = EventSchema("MainSt", [AttributeSpec("vehicle", int)])
+        schema.validate(Event("MainSt", 0, {"vehicle": 1}))
+
+    def test_validate_rejects_wrong_type(self):
+        schema = EventSchema("MainSt", [AttributeSpec("vehicle", int)])
+        with pytest.raises(SchemaValidationError, match="does not match"):
+            schema.validate(Event("OakSt", 0, {"vehicle": 1}))
+
+    def test_validate_rejects_missing_required_attribute(self):
+        schema = EventSchema("MainSt", [AttributeSpec("vehicle", int)])
+        with pytest.raises(SchemaValidationError, match="misses required"):
+            schema.validate(Event("MainSt", 0))
+
+    def test_optional_attribute_may_be_absent(self):
+        schema = EventSchema("MainSt", [AttributeSpec("note", str, required=False)])
+        schema.validate(Event("MainSt", 0))
+
+    def test_attribute_names_and_spec_lookup(self):
+        schema = EventSchema("A", [AttributeSpec("x", int), AttributeSpec("y", float)])
+        assert schema.attribute_names == ("x", "y")
+        assert schema.spec("y").domain is float
+        with pytest.raises(KeyError):
+            schema.spec("z")
+
+
+class TestSchemaRegistry:
+    def test_register_and_lookup(self):
+        registry = SchemaRegistry()
+        registry.register(EventSchema("A"))
+        assert "A" in registry
+        assert registry.get("A") is not None
+        assert registry.get("B") is None
+        assert len(registry) == 1
+        assert registry.event_types() == ("A",)
+
+    def test_duplicate_registration_rejected(self):
+        registry = SchemaRegistry()
+        registry.register(EventSchema("A"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(EventSchema("A"))
+
+    def test_unknown_type_ignored_unless_strict(self):
+        registry = SchemaRegistry()
+        registry.validate(Event("Unknown", 0))
+        with pytest.raises(SchemaValidationError, match="no schema"):
+            registry.validate(Event("Unknown", 0), strict=True)
+
+    def test_validate_stream_counts_events(self):
+        registry = SchemaRegistry()
+        registry.register(EventSchema("A", [AttributeSpec("x", int)]))
+        events = [Event("A", t, {"x": t}) for t in range(5)]
+        assert registry.validate_stream(events) == 5

@@ -1,0 +1,82 @@
+"""Unit tests for the small utility modules (validation guards, memory sizing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import (
+    PeakMemoryTracker,
+    deep_sizeof,
+    require_in,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestValidationGuards:
+    def test_require_positive(self):
+        assert require_positive(3, "x") == 3
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+
+    def test_require_non_empty(self):
+        assert require_non_empty([1], "xs") == [1]
+        with pytest.raises(ValueError, match="must not be empty"):
+            require_non_empty([], "xs")
+
+    def test_require_in(self):
+        assert require_in("a", ("a", "b"), "letter") == "a"
+        with pytest.raises(ValueError, match="letter"):
+            require_in("z", ("a", "b"), "letter")
+
+
+class TestDeepSizeof:
+    def test_containers_grow_size(self):
+        assert deep_sizeof([1, 2, 3]) > deep_sizeof([])
+        assert deep_sizeof({"a": [1, 2, 3]}) > deep_sizeof({})
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(100))
+        duplicated = [shared, shared]
+        independent = [list(range(100)), list(range(100))]
+        assert deep_sizeof(duplicated) < deep_sizeof(independent)
+
+    def test_objects_with_dict_and_slots(self):
+        class WithDict:
+            def __init__(self):
+                self.payload = list(range(50))
+
+        class WithSlots:
+            __slots__ = ("payload",)
+
+            def __init__(self):
+                self.payload = list(range(50))
+
+        assert deep_sizeof(WithDict()) > deep_sizeof(object())
+        assert deep_sizeof(WithSlots()) > deep_sizeof(object())
+
+    def test_cycles_terminate(self):
+        a = []
+        a.append(a)
+        assert deep_sizeof(a) > 0
+
+
+class TestPeakMemoryTracker:
+    def test_sample_keeps_maximum(self):
+        tracker = PeakMemoryTracker()
+        small = tracker.sample([1])
+        large = tracker.sample(list(range(1000)))
+        assert tracker.peak_bytes == max(small, large)
+        assert tracker.samples == 2
+
+    def test_record_external_measurement(self):
+        tracker = PeakMemoryTracker()
+        tracker.record(100)
+        tracker.record(50)
+        assert tracker.peak_bytes == 100

@@ -1,0 +1,94 @@
+"""Unit tests for sliding windows (repro.events.windows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import SlidingWindow, WindowInstance
+
+
+class TestWindowInstance:
+    def test_contains_is_half_open(self):
+        window = WindowInstance(10, 20)
+        assert window.contains(10)
+        assert window.contains(19)
+        assert not window.contains(20)
+        assert not window.contains(9)
+        assert window.size == 10
+
+    def test_ordering(self):
+        assert WindowInstance(0, 10) < WindowInstance(5, 15)
+
+
+class TestSlidingWindowValidation:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(size=0, slide=1)
+
+    def test_rejects_non_positive_slide(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(size=5, slide=0)
+
+    def test_rejects_slide_larger_than_size(self):
+        with pytest.raises(ValueError, match="drop events"):
+            SlidingWindow(size=5, slide=6)
+
+    def test_tumbling_flag(self):
+        assert SlidingWindow(size=5, slide=5).is_tumbling
+        assert not SlidingWindow(size=5, slide=1).is_tumbling
+
+
+class TestInstanceEnumeration:
+    def test_instances_containing_example_from_paper(self):
+        # Window of length 4 sliding by 1 (Example 2).
+        window = SlidingWindow(size=4, slide=1)
+        instances = window.instances_containing(2)
+        assert instances == [WindowInstance(0, 4), WindowInstance(1, 5), WindowInstance(2, 6)]
+
+    def test_instances_containing_never_negative_start(self):
+        window = SlidingWindow(size=10, slide=2)
+        instances = window.instances_containing(1)
+        assert all(w.start >= 0 for w in instances)
+        assert WindowInstance(0, 10) in instances
+
+    def test_max_overlap(self):
+        assert SlidingWindow(size=10, slide=2).max_overlap == 5
+        assert SlidingWindow(size=10, slide=3).max_overlap == 4
+        assert SlidingWindow(size=10, slide=10).max_overlap == 1
+
+    def test_number_of_instances_bounded_by_max_overlap(self):
+        window = SlidingWindow(size=10, slide=3)
+        counts = [len(window.instances_containing(t)) for t in range(30, 60)]
+        # Every timestamp is covered by at most max_overlap instances, and the
+        # bound is tight for suitably aligned timestamps.
+        assert max(counts) == window.max_overlap
+        assert all(count <= window.max_overlap for count in counts)
+
+    def test_instance_starting_at_validates_alignment(self):
+        window = SlidingWindow(size=10, slide=5)
+        assert window.instance_starting_at(15) == WindowInstance(15, 25)
+        with pytest.raises(ValueError):
+            window.instance_starting_at(7)
+
+    def test_instances_between(self):
+        window = SlidingWindow(size=4, slide=2)
+        instances = list(window.instances_between(3, 7))
+        assert instances == [
+            WindowInstance(0, 4),
+            WindowInstance(2, 6),
+            WindowInstance(4, 8),
+            WindowInstance(6, 10),
+        ]
+
+    def test_covers_span(self):
+        window = SlidingWindow(size=4, slide=1)
+        covering = window.covers_span(2, 4)
+        assert covering == [WindowInstance(1, 5), WindowInstance(2, 6)]
+        with pytest.raises(ValueError):
+            window.covers_span(4, 2)
+
+    def test_every_timestamp_in_claimed_instances(self):
+        window = SlidingWindow(size=7, slide=3)
+        for timestamp in range(0, 40):
+            for instance in window.instances_containing(timestamp):
+                assert instance.contains(timestamp)
