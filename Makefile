@@ -1,0 +1,14 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench figures lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Headless engine throughput benchmark; writes BENCH_engine.json.
+bench:
+	$(PYTHON) -m repro bench
+
+figures:
+	$(PYTHON) -m repro figures

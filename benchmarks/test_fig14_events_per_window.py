@@ -14,7 +14,7 @@ import pytest
 
 from repro.events import SlidingWindow
 
-from .harness import optimize, record_series, run_executor, tx_scenario
+from .harness import optimize, record_series, run_best_of, run_executor, tx_scenario
 
 EVENT_RATES = [10.0, 20.0, 40.0]
 WINDOW = SlidingWindow(size=40, slide=20)
@@ -58,8 +58,8 @@ def test_fig14_speedup_grows_with_window_content(benchmark):
     for rate in EVENT_RATES:
         workload, stream = scenario_for(rate)
         plan = optimize(workload, stream)
-        sharon = run_executor("Sharon", workload, stream, plan)
-        aseq = run_executor("A-Seq", workload, stream, plan)
+        sharon = run_best_of("Sharon", workload, stream, plan)
+        aseq = run_best_of("A-Seq", workload, stream, plan)
         speedups.append(aseq.latency_ms / max(sharon.latency_ms, 1e-9))
 
     def check():

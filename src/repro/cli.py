@@ -19,6 +19,11 @@ The CLI exposes the library's main workflows without writing Python:
     Generate one of the synthetic data sets and print its statistics (or
     write it to a CSV file).
 
+``python -m repro bench``
+    Run the headless engine-throughput benchmark (stream scaling plus the
+    Fig. 13 dense-sharing scenario) and write the machine-readable
+    ``BENCH_engine.json`` used to track the performance trajectory.
+
 The CLI is intentionally thin: every command maps onto documented library
 calls so scripts can graduate to the Python API without surprises.
 """
@@ -202,6 +207,29 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import run_engine_benchmark, write_bench_json
+
+    parent = Path(args.output).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(f"output directory {parent} does not exist")
+    records = run_engine_benchmark()
+    rows = [
+        [r.scenario, r.executor, r.events, f"{r.events_per_sec:,.0f}", f"{r.peak_mb:.2f}"]
+        for r in records
+    ]
+    print(
+        format_table(
+            ["scenario", "executor", "events", "events/sec", "peak MB"],
+            rows,
+            title="Engine throughput benchmark",
+        )
+    )
+    target = write_bench_json(records, args.output)
+    print(f"\nWrote {len(records)} records to {target}")
+    return 0
+
+
 def _write_csv(stream: EventStream, path: str | Path) -> None:
     attribute_names = sorted({name for event in stream for name in event.attributes})
     with open(path, "w", newline="", encoding="utf-8") as handle:
@@ -291,6 +319,16 @@ def build_parser() -> argparse.ArgumentParser:
     datasets_parser.add_argument("--seed", type=int, default=1)
     datasets_parser.add_argument("--output", help="optional CSV file to write the events to")
     datasets_parser.set_defaults(handler=cmd_datasets)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the engine throughput benchmark and write BENCH_engine.json"
+    )
+    bench_parser.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        help="path of the machine-readable result file (default: BENCH_engine.json)",
+    )
+    bench_parser.set_defaults(handler=cmd_bench)
 
     return parser
 

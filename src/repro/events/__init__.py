@@ -2,7 +2,13 @@
 
 from .event import Event, EventType
 from .schema import AttributeSpec, EventSchema, SchemaRegistry, SchemaValidationError
-from .stream import EventStream, StreamStatistics, interleave_by_timestamp, merge_streams
+from .stream import (
+    EventStream,
+    StreamStatistics,
+    interleave_by_timestamp,
+    merge_streams,
+    timestamp_batches,
+)
 from .windows import SlidingWindow, WindowInstance
 
 __all__ = [
@@ -16,6 +22,7 @@ __all__ = [
     "StreamStatistics",
     "interleave_by_timestamp",
     "merge_streams",
+    "timestamp_batches",
     "SlidingWindow",
     "WindowInstance",
 ]

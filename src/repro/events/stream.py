@@ -13,6 +13,7 @@ events), which comfortably fits the benchmark scales used here.
 from __future__ import annotations
 
 import bisect
+import itertools
 import random
 from collections import Counter
 from dataclasses import dataclass
@@ -20,7 +21,27 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from .event import Event, EventType
 
-__all__ = ["EventStream", "StreamStatistics", "merge_streams", "interleave_by_timestamp"]
+__all__ = [
+    "EventStream",
+    "StreamStatistics",
+    "merge_streams",
+    "interleave_by_timestamp",
+    "timestamp_batches",
+]
+
+
+def timestamp_batches(
+    events: "EventStream | Iterable[Event]",
+) -> Iterator[tuple[int, list[Event]]]:
+    """Group a timestamp-ordered event iterable into same-timestamp batches.
+
+    Yields ``(timestamp, [events...])`` pairs without materialising the
+    stream: only the current batch (plus the one event of lookahead that
+    terminates it) is held in memory, so the executors can consume unbounded
+    iterables and generators as well as in-memory :class:`EventStream`\\ s.
+    """
+    for timestamp, group in itertools.groupby(events, key=lambda event: event.timestamp):
+        yield timestamp, list(group)
 
 
 @dataclass(frozen=True)
@@ -99,7 +120,9 @@ class EventStream:
 
     def append(self, event: Event) -> None:
         """Insert an event keeping timestamp order (used by generators)."""
-        position = bisect.bisect_right([e.timestamp for e in self._events], event.timestamp)
+        position = bisect.bisect_right(
+            self._events, event.timestamp, key=lambda e: e.timestamp
+        )
         self._events.insert(position, event)
 
     def extend(self, events: Iterable[Event]) -> None:

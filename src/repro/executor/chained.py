@@ -10,10 +10,11 @@ a *chain* of segment runners evaluated in stream order:
 * a shared segment is backed by a scope-wide
   :class:`~repro.executor.prefix_agg.SharedSegmentState` computed once for all
   sharing queries; the per-query :class:`SharedSegmentRunner` merely records,
-  for every anchor (START event of the shared pattern), the upstream chain
-  value at the anchor's arrival time and combines it with the anchor's
-  completed aggregates on demand — the count-combination step of the Shared
-  method (Figure 7, Example 3).
+  for every anchor cohort (START events of the shared pattern sharing one
+  timestamp), the upstream chain value at the cohort's arrival time and folds
+  the cohort's completion deltas into a running combined total — the
+  count-combination step of the Shared method (Figure 7, Example 3),
+  performed incrementally so every read is O(1).
 
 The chain value after the last segment is the query's aggregate for the
 scope.
@@ -21,7 +22,7 @@ scope.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..core.plan import QueryDecomposition
 from ..events.event import Event
@@ -29,56 +30,109 @@ from ..queries.aggregates import AggregateSpec, AggregateState
 from ..queries.query import Query
 from .prefix_agg import CarryProvider, PrivateSegmentState, SharedSegmentState
 
-__all__ = ["SharedSegmentRunner", "QueryChainState"]
+__all__ = ["SharedSegmentRunner", "QueryChainState", "stage_event_types"]
+
+_ZERO = AggregateState.zero()
+
+
+def stage_event_types(decomposition: QueryDecomposition) -> frozenset[str]:
+    """Event types whose arrival requires staging the query's chain.
+
+    A private segment must observe all of its pattern's types; a shared
+    runner only acts when a new anchor cohort appears, i.e. when the shared
+    pattern's START type arrives (completions of later positions reach it
+    through the delta subscription).  This is the single source of truth for
+    the engine's type-indexed chain dispatch.
+    """
+    types: set[str] = set()
+    for segment in decomposition.segments:
+        if segment.is_shared:
+            types.add(segment.pattern.event_types[0])
+        else:
+            types.update(segment.pattern.event_types)
+    return frozenset(types)
 
 
 class SharedSegmentRunner:
-    """Per-query combination of a shared segment's anchored aggregates."""
+    """Per-query combination of a shared segment's anchored aggregates.
 
-    __slots__ = ("shared", "spec", "carries", "_staged_carries", "combinations")
+    The runner subscribes to its :class:`SharedSegmentState`: whenever a
+    cohort's completed aggregate grows by some delta, the shared state calls
+    :meth:`absorb_completed` and the runner merges ``carry ⊗ delta`` into its
+    running total.  Carries are frozen at anchor creation (the paper's
+    semantics), so the total is exact and :meth:`chain_value` never rescans
+    the anchors.
+    """
+
+    __slots__ = ("shared", "spec", "carries", "_staged_carries", "_total", "combinations")
 
     def __init__(self, shared: SharedSegmentState, spec: AggregateSpec) -> None:
         if spec not in shared.specs:
             raise ValueError(f"shared segment {shared.pattern!r} does not track {spec!r}")
         self.shared = shared
         self.spec = spec
-        #: Upstream chain value snapshot per anchor, parallel to ``shared.anchors``.
+        #: Upstream chain value snapshot per anchor cohort, parallel to the
+        #: shared state's cohort arrays.
         self.carries: list[AggregateState] = []
         self._staged_carries: list[AggregateState] = []
-        #: Number of carry × anchor combinations performed (cost accounting).
+        #: Running Σ carry_i ⊗ completed_i over all cohorts.
+        self._total: AggregateState = _ZERO
+        #: Number of carry × anchor combinations, counted once at finalization
+        #: (the cost model's combination step, Section 5).
         self.combinations = 0
+        shared.register(self)
 
     def stage_batch(self, events: Sequence[Event], carry: CarryProvider) -> None:
-        """Record upstream snapshots for anchors created in this batch.
+        """Record the upstream snapshot for the cohort created in this batch.
 
         The shared state must have been staged for the same batch already;
-        the upstream carry is evaluated lazily (and only once) because the
-        batch may create several anchors.
+        all START events of a batch form one cohort and share one carry
+        (the upstream value as of the beginning of the batch).
         """
-        new_anchor_count = len(self.shared.staged_new_anchors)
-        if new_anchor_count == 0:
-            self._staged_carries = []
-            return
-        snapshot = carry()
-        self._staged_carries = [snapshot] * new_anchor_count
+        if self.shared.staged_new_anchors:
+            self._staged_carries.append(carry())
 
     def commit(self) -> None:
         if self._staged_carries:
             self.carries.extend(self._staged_carries)
-            self._staged_carries = []
+            self._staged_carries.clear()
+
+    def absorb_completed(self, cohort: int, delta: AggregateState) -> None:
+        """Fold one cohort's completion delta into the running total."""
+        if cohort < len(self.carries):
+            carry = self.carries[cohort]
+        else:
+            carry = self._staged_carries[cohort - len(self.carries)]
+        if carry.count == 0:
+            return
+        self._total = self._total.merge(carry.combine(delta))
 
     def chain_value(self) -> AggregateState:
         """Aggregate over completed matches of the chain up to this segment."""
-        total = AggregateState.zero()
-        for anchor, carry in zip(self.shared.anchors, self.carries):
-            if carry.is_zero:
-                continue
-            completed = anchor.completed(self.spec)
-            if completed.is_zero:
-                continue
-            total = total.merge(carry.combine(completed))
-            self.combinations += 1
-        return total
+        return self._total
+
+    def count_combinations(self) -> int:
+        """Count the carry × anchor combinations of this scope (cost model).
+
+        Called once at scope finalization: one combination per cohort whose
+        carry and completed aggregate are both non-empty, matching the
+        paper's per-window combination step instead of inflating the counter
+        on every intermediate read.
+        """
+        performed = sum(
+            1
+            for carry, completed in zip(self.carries, self.shared.completed_column(self.spec))
+            if carry.count != 0 and completed.count != 0
+        )
+        self.combinations += performed
+        return performed
+
+    def reset(self) -> None:
+        """Clear per-scope state so the runner can serve a new scope."""
+        self.carries.clear()
+        self._staged_carries.clear()
+        self._total = _ZERO
+        self.combinations = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SharedSegmentRunner({self.shared.pattern!r}, anchors={len(self.carries)})"
@@ -121,11 +175,7 @@ class QueryChainState:
         chain never links events sharing a timestamp.
         """
         for index, runner in enumerate(self.runners):
-            carry = self._carry_provider(index)
-            if isinstance(runner, PrivateSegmentState):
-                runner.stage_batch(events, carry)
-            else:
-                runner.stage_batch(events, carry)
+            runner.stage_batch(events, self._carry_provider(index))
 
     def commit(self) -> None:
         for runner in self.runners:
@@ -138,6 +188,18 @@ class QueryChainState:
     def final_value(self):
         """The query's result value for this scope (RETURN clause applied)."""
         return self.query.aggregate.finalize(self.final_state())
+
+    def finalize_value(self):
+        """Result value plus cost accounting, called once at scope finalization."""
+        for runner in self.runners:
+            if isinstance(runner, SharedSegmentRunner):
+                runner.count_combinations()
+        return self.final_value()
+
+    def reset(self) -> None:
+        """Clear every runner so the chain can serve a new scope."""
+        for runner in self.runners:
+            runner.reset()
 
     @property
     def update_count(self) -> int:

@@ -14,6 +14,19 @@ Events are processed in timestamp batches (events sharing a timestamp never
 chain with each other); windows are finalized as soon as the stream time
 passes their end, emitting one result per query and group.
 
+Three properties keep the hot path linear in the stream (see
+``docs/engine.md`` for the full complexity budget):
+
+* **True streaming** — the stream is consumed through a lookahead-free batch
+  iterator; it is never materialised, so memory is bounded by the open
+  scopes, not the stream length.
+* **Type-indexed dispatch** — :class:`CompiledWorkload` pre-computes which
+  shared states and query chains care about each event type; a batch only
+  touches the states whose patterns contain one of its types.
+* **Scope pooling** — finalized :class:`WindowGroupScope` objects (and their
+  array buffers) are reset and reused for new window instances, cutting
+  allocation churn under sliding windows with ``max_overlap > 1``.
+
 Running the engine with an *empty* plan degenerates to the Non-Shared method:
 each query keeps a single private segment spanning its whole pattern, which
 is exactly A-Seq's per-query online aggregation.  The executors in
@@ -27,19 +40,23 @@ from typing import Iterable, Mapping
 
 from ..core.plan import QueryDecomposition, SharingPlan
 from ..events.event import Event
-from ..events.stream import EventStream
+from ..events.stream import EventStream, timestamp_batches
 from ..events.windows import SlidingWindow, WindowInstance
 from ..queries.aggregates import AggregateSpec
 from ..queries.pattern import Pattern
 from ..queries.predicates import PredicateSet
 from ..queries.query import Query
 from ..queries.workload import Workload
-from .chained import QueryChainState
+from .chained import QueryChainState, stage_event_types
 from .metrics import MetricsCollector, RunMetrics
 from .prefix_agg import SharedSegmentState
 from .results import QueryResult, ResultSet
 
 __all__ = ["ExecutionReport", "CompiledWorkload", "WindowGroupScope", "StreamingEngine"]
+
+#: Upper bound on retired scopes kept for reuse (bounds pool memory when the
+#: group cardinality fluctuates).
+_SCOPE_POOL_LIMIT = 128
 
 
 @dataclass
@@ -55,7 +72,17 @@ class ExecutionReport:
 
 
 class CompiledWorkload:
-    """Pre-computed execution structure of a workload under a sharing plan."""
+    """Pre-computed execution structure of a workload under a sharing plan.
+
+    Besides the per-query decompositions, compilation builds the type-indexed
+    dispatch tables used by :meth:`WindowGroupScope.process_batch`:
+    ``shared_patterns_by_type`` routes a batch to the shared states whose
+    pattern contains one of its event types, and ``chain_names_by_type``
+    routes it to the query chains that must observe it (a chain needs a batch
+    iff it contains a private-segment type or the START type of one of its
+    shared segments — completions of later shared positions reach the chain
+    through the runner's delta subscription instead).
+    """
 
     def __init__(self, workload: Workload, plan: SharingPlan | None = None) -> None:
         if len(workload) == 0:
@@ -85,6 +112,24 @@ class CompiledWorkload:
                 if query.aggregate not in existing:
                     self.shared_specs[segment.pattern] = existing + (query.aggregate,)
 
+        #: Dispatch index: event type -> shared patterns containing it.
+        shared_index: dict[str, list[Pattern]] = {}
+        for pattern in self.shared_specs:
+            for event_type in set(pattern.event_types):
+                shared_index.setdefault(event_type, []).append(pattern)
+        self.shared_patterns_by_type: dict[str, tuple[Pattern, ...]] = {
+            event_type: tuple(patterns) for event_type, patterns in shared_index.items()
+        }
+
+        #: Dispatch index: event type -> names of chains that must stage it.
+        chain_index: dict[str, list[str]] = {}
+        for query in workload:
+            for event_type in stage_event_types(self.decompositions[query.name]):
+                chain_index.setdefault(event_type, []).append(query.name)
+        self.chain_names_by_type: dict[str, tuple[str, ...]] = {
+            event_type: tuple(names) for event_type, names in chain_index.items()
+        }
+
     def group_key(self, event: Event) -> tuple:
         return tuple(event.attribute(attr) for attr in self.partition_attributes)
 
@@ -93,11 +138,18 @@ class CompiledWorkload:
 
 
 class WindowGroupScope:
-    """Aggregation state of one window instance × group combination."""
+    """Aggregation state of one window instance × group combination.
 
-    __slots__ = ("window", "group", "shared_states", "chains")
+    Scopes are pooled: after finalization the engine calls :meth:`reset` and
+    :meth:`rebind` to reuse the scope — including the underlying per-spec
+    column arrays — for a later window instance under the same compiled
+    workload.
+    """
+
+    __slots__ = ("compiled", "window", "group", "shared_states", "chains")
 
     def __init__(self, compiled: CompiledWorkload, window: WindowInstance, group: tuple) -> None:
+        self.compiled = compiled
         self.window = window
         self.group = group
         self.shared_states: dict[Pattern, SharedSegmentState] = {
@@ -112,22 +164,63 @@ class WindowGroupScope:
         }
 
     def process_batch(self, events: list[Event]) -> None:
-        """Process one batch of equal-timestamp events through all states."""
-        for shared_state in self.shared_states.values():
+        """Process one batch of equal-timestamp events through affected states.
+
+        Dispatch is type-indexed: only shared states whose pattern contains a
+        batch type, and only chains staged by one of the batch types, are
+        touched — every other state is guaranteed unchanged by this batch.
+        """
+        compiled = self.compiled
+        batch_types = {event.event_type for event in events}
+
+        if self.shared_states:
+            shared_by_type = compiled.shared_patterns_by_type
+            active_shared: list[SharedSegmentState] = []
+            seen_patterns: set[Pattern] = set()
+            for event_type in batch_types:
+                for pattern in shared_by_type.get(event_type, ()):
+                    if pattern not in seen_patterns:
+                        seen_patterns.add(pattern)
+                        active_shared.append(self.shared_states[pattern])
+        else:
+            active_shared = []
+
+        chains_by_type = compiled.chain_names_by_type
+        active_chains: list[QueryChainState] = []
+        seen_chains: set[str] = set()
+        for event_type in batch_types:
+            for name in chains_by_type.get(event_type, ()):
+                if name not in seen_chains:
+                    seen_chains.add(name)
+                    active_chains.append(self.chains[name])
+
+        for shared_state in active_shared:
             shared_state.stage_batch(events)
-        for chain in self.chains.values():
+        for chain in active_chains:
             chain.stage_batch(events)
-        for shared_state in self.shared_states.values():
+        for shared_state in active_shared:
             shared_state.commit()
-        for chain in self.chains.values():
+        for chain in active_chains:
             chain.commit()
 
     def finalize(self) -> list[QueryResult]:
         """Emit one result per query for this scope."""
         return [
-            QueryResult(name, self.window, self.group, chain.final_value())
+            QueryResult(name, self.window, self.group, chain.finalize_value())
             for name, chain in self.chains.items()
         ]
+
+    def reset(self) -> None:
+        """Clear all aggregation state for reuse by a later window instance."""
+        for shared_state in self.shared_states.values():
+            shared_state.reset()
+        for chain in self.chains.values():
+            chain.reset()
+
+    def rebind(self, window: WindowInstance, group: tuple) -> None:
+        """Point a (reset) pooled scope at a new window instance and group."""
+        self.window = window
+        self.group = group
 
     @property
     def update_count(self) -> int:
@@ -169,6 +262,10 @@ class StreamingEngine:
     ) -> ExecutionReport:
         """Process the whole stream and return results plus metrics.
 
+        The stream is consumed incrementally (one timestamp batch at a time,
+        no lookahead beyond the first event of the next batch), so unbounded
+        iterables work as long as their windows keep expiring.
+
         Parameters
         ----------
         stream:
@@ -186,21 +283,13 @@ class StreamingEngine:
         results = ResultSet()
         #: Active scopes: window instance -> group key -> scope.
         scopes: dict[WindowInstance, dict[tuple, WindowGroupScope]] = {}
+        #: Retired scopes available for reuse under the current compiled workload.
+        pool: list[WindowGroupScope] = []
 
-        events = stream.events() if isinstance(stream, EventStream) else tuple(stream)
         collector.start()
 
-        index = 0
-        total = len(events)
-        while index < total:
-            timestamp = events[index].timestamp
-            batch_end = index
-            while batch_end < total and events[batch_end].timestamp == timestamp:
-                batch_end += 1
-            batch = events[index:batch_end]
-            index = batch_end
-
-            self._finalize_expired(scopes, timestamp, results, collector)
+        for timestamp, batch in timestamp_batches(stream):
+            self._finalize_expired(scopes, timestamp, results, collector, pool)
 
             compiled = self.compiled
             #: Per-scope sub-batches of relevant events.
@@ -218,7 +307,7 @@ class StreamingEngine:
                 group_scopes = scopes.setdefault(window, {})
                 scope = group_scopes.get(group)
                 if scope is None:
-                    scope = WindowGroupScope(compiled, window, group)
+                    scope = self._acquire_scope(pool, compiled, window, group)
                     group_scopes[group] = scope
                 scope.process_batch(scope_events)
 
@@ -227,22 +316,42 @@ class StreamingEngine:
                 on_batch(timestamp, batch)
                 collector.start()
 
-        self._finalize_expired(scopes, None, results, collector)
+        self._finalize_expired(scopes, None, results, collector, pool)
         metrics = collector.finish()
         return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
 
     # -- internal helpers --------------------------------------------------------
+    @staticmethod
+    def _acquire_scope(
+        pool: list[WindowGroupScope],
+        compiled: CompiledWorkload,
+        window: WindowInstance,
+        group: tuple,
+    ) -> WindowGroupScope:
+        """Reuse a pooled scope when possible, otherwise build a fresh one."""
+        if pool:
+            if pool[-1].compiled is compiled:
+                scope = pool.pop()
+                scope.rebind(window, group)
+                return scope
+            # Plan migration invalidated the pool: pooled scopes carry the
+            # old decomposition and must not serve new window instances.
+            pool.clear()
+        return WindowGroupScope(compiled, window, group)
+
     def _finalize_expired(
         self,
         scopes: dict[WindowInstance, dict[tuple, WindowGroupScope]],
         current_timestamp: int | None,
         results: ResultSet,
         collector: MetricsCollector,
+        pool: list[WindowGroupScope],
     ) -> None:
         """Finalize every scope whose window ended before ``current_timestamp``.
 
         ``None`` finalizes everything (end of stream).  Memory is sampled just
         before finalization, when the engine's state is at its largest.
+        Finalized scopes are reset and parked in ``pool`` for reuse.
         """
         expired = [
             window
@@ -259,4 +368,7 @@ class StreamingEngine:
                     results.add(result)
                 collector.count_window(len(emitted))
                 collector.state_updates += scope.update_count
+                if len(pool) < _SCOPE_POOL_LIMIT and scope.compiled is self.compiled:
+                    scope.reset()
+                    pool.append(scope)
             del scopes[window]

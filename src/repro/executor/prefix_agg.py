@@ -14,10 +14,26 @@ instance × one group):
   how a query's private prefix/suffix segments are stitched to shared
   segments.
 * :class:`SharedSegmentState` — the anchored variant used for shared
-  patterns.  Aggregates are maintained per START event ("anchor") of the
-  shared pattern so that each query can later combine them with its own
-  prefix aggregates (Section 3.3, Figure 7) — the shared pattern itself is
-  processed exactly once for all sharing queries.
+  patterns.  Aggregates are maintained per *anchor cohort* — all START
+  events of the shared pattern arriving at the same timestamp — so that each
+  query can later combine them with its own prefix aggregates (Section 3.3,
+  Figure 7); the shared pattern itself is processed exactly once for all
+  sharing queries.
+
+Anchors are grouped into cohorts because same-timestamp START events are
+indistinguishable to the rest of the chain: every downstream carry snapshot
+is frozen per batch, and every extension applies to all of them identically.
+Merging them is therefore lossless (the aggregate state is a commutative
+monoid and ``extend``/``combine`` distribute over ``merge``), and it makes
+the per-event extension cost proportional to the number of *timestamps* that
+created anchors instead of the number of START *events* — the high-rate
+regime of Figure 13 stays linear in the stream.
+
+The cohort state uses a struct-of-arrays layout: one parallel array per
+(aggregate spec, pattern position), indexed by cohort id.  Running totals
+(:meth:`SharedSegmentState.total_completed`) and the per-query combined
+values (:meth:`~repro.executor.chained.SharedSegmentRunner.chain_value`) are
+maintained incrementally from per-batch deltas, so both are O(1) reads.
 
 Both classes use two-phase *stage/commit* batch processing: all reads of a
 batch observe the state before the batch, so events carrying the same
@@ -40,6 +56,9 @@ __all__ = ["PrivateSegmentState", "SharedSegmentState", "SharedAnchor", "positio
 #: as of the beginning of the current batch.
 CarryProvider = Callable[[], AggregateState]
 
+_ZERO = AggregateState.zero()
+_UNIT = AggregateState.unit()
+
 
 def positions_by_type(pattern: Pattern) -> dict[str, tuple[int, ...]]:
     """Map each event type to the (0-based) positions it occupies in ``pattern``."""
@@ -58,40 +77,59 @@ class PrivateSegmentState:
         self.pattern = pattern
         self.spec = spec
         self._positions = positions_by_type(pattern)
-        self.states: list[AggregateState] = [AggregateState.zero()] * len(pattern)
-        self._staged: list[AggregateState] | None = None
+        self.states: list[AggregateState] = [_ZERO] * len(pattern)
+        #: Sparse per-batch additions: {position: addition}; ``None`` outside a batch.
+        self._staged: dict[int, AggregateState] | None = None
         #: Number of aggregate updates applied (used by cost/throughput reports).
         self.updates = 0
 
     def stage_batch(self, events: Sequence[Event], carry: CarryProvider) -> None:
         """Compute this batch's additions against the pre-batch state."""
-        additions = [AggregateState.zero()] * len(self.states)
+        additions: dict[int, AggregateState] | None = None
         carry_value: AggregateState | None = None
+        positions = self._positions
+        states = self.states
+        spec = self.spec
         for event in events:
-            for position in self._positions.get(event.event_type, ()):
+            for position in positions.get(event.event_type, ()):
                 if position == 0:
                     if carry_value is None:
                         carry_value = carry()
                     base = carry_value
                 else:
-                    base = self.states[position - 1]
-                if base.is_zero:
+                    base = states[position - 1]
+                if base.count == 0:
                     continue
-                additions[position] = additions[position].merge(base.extend(event, self.spec))
+                if additions is None:
+                    additions = {}
+                previous = additions.get(position)
+                extended = base.extend(event, spec)
+                additions[position] = (
+                    extended if previous is None else previous.merge(extended)
+                )
                 self.updates += 1
         self._staged = additions
 
     def commit(self) -> None:
-        if self._staged is None:
+        staged = self._staged
+        if staged is None:
             return
-        self.states = [
-            state.merge(addition) for state, addition in zip(self.states, self._staged)
-        ]
+        states = self.states
+        for position, addition in staged.items():
+            states[position] = states[position].merge(addition)
         self._staged = None
 
     def chain_value(self) -> AggregateState:
         """Aggregate over completed matches of the chain up to this segment."""
         return self.states[-1]
+
+    def reset(self) -> None:
+        """Clear all aggregation state so the instance can serve a new scope."""
+        states = self.states
+        for index in range(len(states)):
+            states[index] = _ZERO
+        self._staged = None
+        self.updates = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PrivateSegmentState({self.pattern!r}, value={self.states[-1].count})"
@@ -99,10 +137,12 @@ class PrivateSegmentState:
 
 @dataclass
 class SharedAnchor:
-    """Per-START-event aggregates of a shared pattern.
+    """Read-only view of one anchor cohort of a shared pattern.
 
     ``states[spec][j]`` aggregates the matches of the shared pattern's prefix
-    of length ``j+1`` that start exactly at this anchor's event.
+    of length ``j+1`` that start at one of this cohort's START events (all
+    sharing one timestamp).  Materialised on demand from the column arrays of
+    :class:`SharedSegmentState` — the hot path never builds these objects.
     """
 
     start_event: Event
@@ -118,7 +158,10 @@ class SharedSegmentState:
 
     The state is maintained once per scope regardless of how many queries
     share the pattern; per-query combination is performed by
-    :class:`~repro.executor.chained.SharedSegmentRunner`.
+    :class:`~repro.executor.chained.SharedSegmentRunner`, which registers
+    itself as a listener and receives the per-batch completion deltas
+    (``carry ⊗ delta`` is applied incrementally, keeping every runner's
+    chain value an O(1) read).
 
     Parameters
     ----------
@@ -130,7 +173,19 @@ class SharedSegmentState:
         workload uses COUNT(*), the common case in the paper).
     """
 
-    __slots__ = ("pattern", "specs", "_positions", "anchors", "staged_new_anchors", "_staged", "updates")
+    __slots__ = (
+        "pattern",
+        "specs",
+        "_positions",
+        "_length",
+        "anchor_starts",
+        "_columns",
+        "_totals",
+        "staged_new_anchors",
+        "_staged",
+        "_runners",
+        "updates",
+    )
 
     def __init__(self, pattern: Pattern, specs: Iterable[AggregateSpec]) -> None:
         self.pattern = pattern
@@ -138,66 +193,148 @@ class SharedSegmentState:
         if not self.specs:
             raise ValueError("a shared segment needs at least one aggregate spec")
         self._positions = positions_by_type(pattern)
-        self.anchors: list[SharedAnchor] = []
-        self.staged_new_anchors: list[SharedAnchor] = []
-        self._staged: list[dict[AggregateSpec, list[AggregateState]]] | None = None
+        self._length = len(pattern)
+        #: First START event of each anchor cohort, indexed by cohort id.
+        self.anchor_starts: list[Event] = []
+        #: Struct-of-arrays storage: ``_columns[spec][position][cohort]``.
+        self._columns: dict[AggregateSpec, list[list[AggregateState]]] = {
+            spec: [[] for _ in range(self._length)] for spec in self.specs
+        }
+        #: Running totals over completed matches, one per spec (O(1) reads).
+        self._totals: dict[AggregateSpec, AggregateState] = {
+            spec: _ZERO for spec in self.specs
+        }
+        #: START events arriving in the current batch (one new cohort).
+        self.staged_new_anchors: list[Event] = []
+        #: Sparse staged additions: ``{(spec, position): {cohort: addition}}``.
+        self._staged: dict[tuple[AggregateSpec, int], dict[int, AggregateState]] | None = None
+        #: Registered per-query runners receiving completion deltas.
+        self._runners: list = []
         self.updates = 0
+
+    # -- wiring ----------------------------------------------------------------
+    def register(self, runner) -> None:
+        """Subscribe a per-query runner to this state's completion deltas."""
+        self._runners.append(runner)
 
     def handles(self, event: Event) -> bool:
         return event.event_type in self._positions
 
+    @property
+    def anchors(self) -> list[SharedAnchor]:
+        """Materialised per-cohort view (tests/introspection only, not hot path)."""
+        views = []
+        for cohort, start_event in enumerate(self.anchor_starts):
+            states = {
+                spec: [columns[position][cohort] for position in range(self._length)]
+                for spec, columns in self._columns.items()
+            }
+            views.append(SharedAnchor(start_event, states))
+        return views
+
+    def completed_column(self, spec: AggregateSpec) -> list[AggregateState]:
+        """Per-cohort aggregates over complete matches (parallel to carries)."""
+        return self._columns[spec][-1]
+
+    # -- batch processing --------------------------------------------------------
     def stage_batch(self, events: Sequence[Event]) -> None:
         """Stage anchor creations and extensions for one same-timestamp batch."""
-        length = len(self.pattern)
-        additions: list[dict[AggregateSpec, list[AggregateState]]] = [
-            {} for _ in self.anchors
-        ]
-        new_anchors: list[SharedAnchor] = []
+        staged: dict[tuple[AggregateSpec, int], dict[int, AggregateState]] | None = None
+        new_anchors: list[Event] = []
+        positions = self._positions
+        columns = self._columns
         for event in events:
-            for position in self._positions.get(event.event_type, ()):
+            for position in positions.get(event.event_type, ()):
                 if position == 0:
-                    anchor = SharedAnchor(event)
-                    for spec in self.specs:
-                        states = [AggregateState.zero()] * length
-                        states[0] = AggregateState.unit().extend(event, spec)
-                        anchor.states[spec] = states
-                    new_anchors.append(anchor)
+                    new_anchors.append(event)
                     self.updates += 1
                     continue
-                for anchor_index, anchor in enumerate(self.anchors):
-                    for spec in self.specs:
-                        base = anchor.states[spec][position - 1]
-                        if base.is_zero:
+                for spec in self.specs:
+                    base_column = columns[spec][position - 1]
+                    bucket = None
+                    for cohort, base in enumerate(base_column):
+                        if base.count == 0:
                             continue
-                        spec_additions = additions[anchor_index].setdefault(
-                            spec, [AggregateState.zero()] * length
-                        )
-                        spec_additions[position] = spec_additions[position].merge(
-                            base.extend(event, spec)
+                        if bucket is None:
+                            if staged is None:
+                                staged = {}
+                            bucket = staged.setdefault((spec, position), {})
+                        extended = base.extend(event, spec)
+                        previous = bucket.get(cohort)
+                        bucket[cohort] = (
+                            extended if previous is None else previous.merge(extended)
                         )
                         self.updates += 1
         self.staged_new_anchors = new_anchors
-        self._staged = additions
+        self._staged = staged
 
     def commit(self) -> None:
-        if self._staged is not None:
-            for anchor, spec_additions in zip(self.anchors, self._staged):
-                for spec, additions in spec_additions.items():
-                    anchor.states[spec] = [
-                        state.merge(addition)
-                        for state, addition in zip(anchor.states[spec], additions)
-                    ]
+        """Apply the staged batch and publish completion deltas.
+
+        Totals and registered runners are updated from the deltas of the
+        final pattern position, so ``total_completed`` and every runner's
+        ``chain_value`` stay O(1) reads.
+        """
+        last = self._length - 1
+        completed: list[tuple[int, AggregateSpec, AggregateState]] = []
+
+        staged = self._staged
+        if staged is not None:
+            for (spec, position), bucket in staged.items():
+                column = self._columns[spec][position]
+                for cohort, addition in bucket.items():
+                    column[cohort] = column[cohort].merge(addition)
+                    if position == last:
+                        completed.append((cohort, spec, addition))
             self._staged = None
+
         if self.staged_new_anchors:
-            self.anchors.extend(self.staged_new_anchors)
+            cohort = len(self.anchor_starts)
+            self.anchor_starts.append(self.staged_new_anchors[0])
+            for spec in self.specs:
+                initial = _ZERO
+                for event in self.staged_new_anchors:
+                    initial = initial.merge(_UNIT.extend(event, spec))
+                columns = self._columns[spec]
+                columns[0].append(initial)
+                for position in range(1, self._length):
+                    columns[position].append(_ZERO)
+                if last == 0:
+                    completed.append((cohort, spec, initial))
             self.staged_new_anchors = []
 
+        if completed:
+            totals = self._totals
+            runners = self._runners
+            for cohort, spec, delta in completed:
+                if delta.count == 0:
+                    continue
+                totals[spec] = totals[spec].merge(delta)
+                for runner in runners:
+                    if runner.spec is spec or runner.spec == spec:
+                        runner.absorb_completed(cohort, delta)
+
+    # -- reads -------------------------------------------------------------------
     def total_completed(self, spec: AggregateSpec) -> AggregateState:
         """Aggregate over all complete matches of the shared pattern so far."""
-        total = AggregateState.zero()
-        for anchor in self.anchors:
-            total = total.merge(anchor.completed(spec))
-        return total
+        return self._totals[spec]
+
+    # -- pooling ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear all aggregation state so the instance can serve a new scope.
+
+        Keeps the column array objects (and registered runners) alive so
+        reuse across window instances does not reallocate the layout.
+        """
+        self.anchor_starts.clear()
+        for columns in self._columns.values():
+            for column in columns:
+                column.clear()
+        for spec in self.specs:
+            self._totals[spec] = _ZERO
+        self.staged_new_anchors = []
+        self._staged = None
+        self.updates = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SharedSegmentState({self.pattern!r}, anchors={len(self.anchors)})"
+        return f"SharedSegmentState({self.pattern!r}, anchors={len(self.anchor_starts)})"

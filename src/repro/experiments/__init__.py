@@ -1,5 +1,13 @@
 """Experiment scenarios, figure runners, and plain-text rendering."""
 
+from .bench import (
+    BenchRecord,
+    SCALE_FACTORS,
+    dense_sharing_scenario,
+    run_engine_benchmark,
+    scaling_scenario,
+    write_bench_json,
+)
 from .figures import (
     FigureResult,
     run_all_figures,
@@ -24,6 +32,12 @@ from .scenarios import (
 )
 
 __all__ = [
+    "BenchRecord",
+    "SCALE_FACTORS",
+    "dense_sharing_scenario",
+    "run_engine_benchmark",
+    "scaling_scenario",
+    "write_bench_json",
     "FigureResult",
     "run_all_figures",
     "run_figure13",

@@ -1,0 +1,197 @@
+"""Engine throughput benchmark: the repository's performance trajectory.
+
+Every PR must be able to prove it did not regress the hot path, so this
+module defines one *canonical, headless* benchmark of the shared online
+engine and a machine-readable result file (``BENCH_engine.json``) that CI and
+future sessions can diff:
+
+* **Stream scaling** — the Fig. 13/14 cost driver is events per window.  The
+  ``scale`` scenarios multiply the stream rate (and hence the stream length
+  and the per-window density) by 1×, 4×, and 16×; a linear engine keeps its
+  events/sec roughly flat while a quadratic one collapses by the scale
+  factor.
+* **Dense sharing** — the Fig. 13 regime: a dense multi-query workload where
+  the shared online method (Sharon) must beat the non-shared online baseline
+  (A-Seq).
+
+Run it with ``python -m repro bench`` (or ``make bench``), or through pytest
+via ``benchmarks/test_engine_throughput.py`` which asserts the scaling and
+sharing properties on the same records.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..datasets.synthetic import ChainConfig, chain_stream, chain_workload
+from ..events.stream import EventStream
+from ..events.windows import SlidingWindow
+from ..executor.aseq import ASeqExecutor
+from ..executor.shared import SharonExecutor
+from ..queries.workload import Workload
+from ..utils.rates import RateCatalog
+
+__all__ = [
+    "BenchRecord",
+    "SCALE_FACTORS",
+    "scaling_scenario",
+    "dense_sharing_scenario",
+    "run_engine_benchmark",
+    "write_bench_json",
+]
+
+#: Stream-scale multipliers exercised by the scaling scenarios.
+SCALE_FACTORS: tuple[int, ...] = (1, 4, 16)
+
+#: Default location of the machine-readable benchmark record.
+DEFAULT_BENCH_PATH = "BENCH_engine.json"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One (scenario, executor) measurement of the engine benchmark."""
+
+    scenario: str
+    executor: str
+    events: int
+    elapsed_seconds: float
+    events_per_sec: float
+    peak_mb: float
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def scaling_scenario(
+    scale: int,
+    duration: int = 60,
+    base_events_per_second: float = 8.0,
+    num_queries: int = 12,
+    pattern_length: int = 4,
+    num_types: int = 8,
+    num_entities: int = 20,
+    seed: int = 41,
+) -> tuple[Workload, EventStream]:
+    """The stream-scaling scenario at ``scale`` × the base rate.
+
+    The rate multiplier scales both the stream length and the number of
+    events per window (the paper's dominant cost factor), so a quadratic
+    per-window engine shows its asymptotics here even at CI-friendly sizes.
+    """
+    config = ChainConfig(num_event_types=num_types)
+    workload = chain_workload(
+        num_queries,
+        pattern_length,
+        config=config,
+        window=SlidingWindow(size=40, slide=20),
+        seed=seed,
+        offset_pool_size=3,
+    )
+    stream = chain_stream(
+        duration=duration,
+        events_per_second=base_events_per_second * scale,
+        config=config,
+        num_entities=num_entities,
+        seed=seed + 1,
+        name=f"scale-{scale}x",
+    )
+    return workload, stream
+
+
+def dense_sharing_scenario(
+    num_queries: int = 24,
+    pattern_length: int = 5,
+    num_types: int = 10,
+    num_entities: int = 60,
+    events_per_second: float = 60.0,
+    duration: int = 90,
+    seed: int = 47,
+) -> tuple[Workload, EventStream]:
+    """The Fig. 13 dense regime: many queries sharing long chain patterns."""
+    config = ChainConfig(num_event_types=num_types)
+    workload = chain_workload(
+        num_queries,
+        pattern_length,
+        config=config,
+        window=SlidingWindow(size=40, slide=20),
+        seed=seed,
+        offset_pool_size=2,
+    )
+    stream = chain_stream(
+        duration=duration,
+        events_per_second=events_per_second,
+        config=config,
+        num_entities=num_entities,
+        seed=seed + 1,
+        name="fig13-dense",
+    )
+    return workload, stream
+
+
+def _measure(
+    scenario: str,
+    executor_name: str,
+    workload: Workload,
+    stream: EventStream,
+    memory_sample_interval: int,
+) -> BenchRecord:
+    if executor_name == "Sharon":
+        rates = RateCatalog.from_stream(stream, per="window", window_size=workload[0].window.size)
+        executor = SharonExecutor(
+            workload, rates=rates, memory_sample_interval=memory_sample_interval
+        )
+    elif executor_name == "A-Seq":
+        executor = ASeqExecutor(workload, memory_sample_interval=memory_sample_interval)
+    else:  # pragma: no cover - guarded by callers
+        raise ValueError(f"unknown benchmark executor {executor_name!r}")
+    started = time.perf_counter()
+    report = executor.run(stream)
+    elapsed = time.perf_counter() - started
+    total = len(stream)
+    return BenchRecord(
+        scenario=scenario,
+        executor=executor_name,
+        events=total,
+        elapsed_seconds=round(elapsed, 6),
+        events_per_sec=round(total / elapsed if elapsed > 0 else float(total), 1),
+        peak_mb=round(report.metrics.peak_memory_bytes / 1_000_000, 3),
+    )
+
+
+def run_engine_benchmark(
+    scales: tuple[int, ...] = SCALE_FACTORS,
+    memory_sample_interval: int = 2,
+    executors: tuple[str, ...] = ("Sharon", "A-Seq"),
+) -> list[BenchRecord]:
+    """Run all scenarios × executors and return the measurement records."""
+    records: list[BenchRecord] = []
+    for scale in scales:
+        workload, stream = scaling_scenario(scale)
+        for executor_name in executors:
+            records.append(
+                _measure(f"scale-{scale}x", executor_name, workload, stream, memory_sample_interval)
+            )
+    workload, stream = dense_sharing_scenario()
+    for executor_name in executors:
+        records.append(
+            _measure("fig13-dense", executor_name, workload, stream, memory_sample_interval)
+        )
+    return records
+
+
+def write_bench_json(
+    records: list[BenchRecord], path: "str | Path" = DEFAULT_BENCH_PATH
+) -> Path:
+    """Write the records as the machine-readable ``BENCH_engine.json``."""
+    payload = {
+        "benchmark": "engine-throughput",
+        "python": platform.python_version(),
+        "results": [record.to_json() for record in records],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target

@@ -190,17 +190,24 @@ class AggregateState:
     # -- constructors ---------------------------------------------------------
     @staticmethod
     def zero() -> "AggregateState":
-        """Identity element: the empty set of sequences."""
-        return AggregateState()
+        """Identity element: the empty set of sequences (shared singleton)."""
+        return _ZERO_STATE
 
     @staticmethod
     def unit() -> "AggregateState":
-        """A single empty (zero-length) partial sequence."""
-        return AggregateState(count=1)
+        """A single empty (zero-length) partial sequence (shared singleton)."""
+        return _UNIT_STATE
 
     # -- monoid / semiring operations -----------------------------------------
     def merge(self, other: "AggregateState") -> "AggregateState":
         """Union of two disjoint sequence sets."""
+        # Identity fast paths: the executors merge against zero() constantly
+        # (fresh positions, empty carries); skipping the allocation keeps the
+        # hot path low-churn.  States are immutable, so sharing is safe.
+        if other is _ZERO_STATE:
+            return self
+        if self is _ZERO_STATE:
+            return other
         return AggregateState(
             count=self.count + other.count,
             target_count=self.target_count + other.target_count,
@@ -247,7 +254,7 @@ class AggregateState:
         replicated ``right.count`` times and vice versa.
         """
         if self.count == 0 or right.count == 0:
-            return AggregateState.zero()
+            return _ZERO_STATE
         return AggregateState(
             count=self.count * right.count,
             target_count=self.target_count * right.count + right.target_count * self.count,
@@ -261,7 +268,9 @@ class AggregateState:
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
         if factor == 0:
-            return AggregateState.zero()
+            return _ZERO_STATE
+        if factor == 1:
+            return self
         return AggregateState(
             count=self.count * factor,
             target_count=self.target_count * factor,
@@ -279,6 +288,11 @@ class AggregateState:
             f"AggregateState(count={self.count}, target_count={self.target_count}, "
             f"total={self.total}, min={self.minimum}, max={self.maximum})"
         )
+
+
+#: Shared immutable identity states (frozen dataclasses, safe to alias).
+_ZERO_STATE = AggregateState()
+_UNIT_STATE = AggregateState(count=1)
 
 
 def _none_min(a: Optional[float], b: Optional[float]) -> Optional[float]:

@@ -10,6 +10,8 @@ answers).
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core import SharonOptimizer
@@ -24,9 +26,9 @@ from repro.datasets import (
     purchase_workload,
     traffic_workload_scaled,
 )
-from repro.events import SlidingWindow
+from repro.events import Event, EventStream, SlidingWindow
 from repro.executor import ASeqExecutor, FlinkLikeExecutor, SharonExecutor, SpassLikeExecutor
-from repro.queries import AggregateSpec
+from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
 from repro.utils import RateCatalog
 
 
@@ -110,6 +112,141 @@ def chain_event_types_last(config: ChainConfig) -> str:
     from repro.datasets import chain_event_types
 
     return chain_event_types(config)[-1]
+
+
+def _random_workload(rng: random.Random, event_types: list[str]) -> Workload:
+    """A random uniform workload with a sliding window and multi-attribute grouping."""
+    size = rng.choice([8, 12, 16])
+    slide = rng.choice([s for s in (2, 3, 4, 6) if s < size])
+    window = SlidingWindow(size=size, slide=slide)
+    # Mix GROUP-BY and equivalence attributes so group keys are genuinely
+    # multi-attribute (the regime the state-layout rewrite must preserve).
+    group_by = ("region",) if rng.random() < 0.7 else ()
+    predicates = PredicateSet.same("entity") if rng.random() < 0.7 else PredicateSet()
+    queries = []
+    for index in range(rng.randint(2, 5)):
+        length = rng.randint(2, min(4, len(event_types)))
+        types = rng.sample(event_types, length)
+        queries.append(
+            Query(
+                pattern=Pattern(types),
+                window=window,
+                aggregate=AggregateSpec.count_star(),
+                predicates=predicates,
+                group_by=group_by,
+                name=f"rq{index}",
+            )
+        )
+    return Workload(queries)
+
+
+def _random_stream(rng: random.Random, event_types: list[str]) -> EventStream:
+    events = []
+    length = rng.randint(20, 80)
+    for event_id in range(length):
+        events.append(
+            Event(
+                rng.choice(event_types),
+                rng.randint(0, 40),
+                {"entity": rng.randint(0, 2), "region": rng.choice(["n", "s"])},
+                event_id,
+            )
+        )
+    return EventStream(events, name="random")
+
+
+def _random_plans(rng: random.Random, workload: Workload, count: int):
+    """Several random conflict-free sharing plans for ``workload``."""
+    from repro.core import ConflictDetector, SharingPlan, build_candidates
+
+    detector = ConflictDetector(workload)
+    candidates = build_candidates(workload)
+    plans = []
+    for _ in range(count):
+        rng.shuffle(candidates)
+        chosen = []
+        for candidate in candidates:
+            if all(not detector.in_conflict(candidate, other) for other in chosen):
+                chosen.append(candidate.with_benefit(1.0))
+        plans.append(SharingPlan(chosen))
+    return plans
+
+
+class TestRandomizedEquivalence:
+    """Property test: random sliding-window, multi-group workloads agree.
+
+    This is the safety net for the incremental anchored-state rewrite: on
+    random streams, A-Seq, Sharon under several random plans, and the
+    two-step oracle must produce identical result sets — sliding windows
+    (slide < size), shared timestamps, and multi-attribute group keys
+    included.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_online_executors_match_twostep_oracle(self, seed):
+        rng = random.Random(1000 + seed)
+        event_types = ["A", "B", "C", "D", "E"][: rng.randint(3, 5)]
+        workload = _random_workload(rng, event_types)
+        stream = _random_stream(rng, event_types)
+
+        reference = FlinkLikeExecutor(workload).run(stream).results
+        aseq = ASeqExecutor(workload).run(stream).results
+        assert aseq.matches(reference), aseq.differences(reference)[:5]
+
+        for plan in _random_plans(rng, workload, count=3):
+            sharon = SharonExecutor(workload, plan=plan).run(stream).results
+            assert sharon.matches(reference), (
+                plan,
+                sharon.differences(reference)[:5],
+            )
+        spass = SpassLikeExecutor(workload).run(stream).results
+        assert spass.matches(reference), spass.differences(reference)[:5]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sum_and_avg_aggregates_match_oracle(self, seed):
+        rng = random.Random(2000 + seed)
+        event_types = ["A", "B", "C", "D"]
+        size = rng.choice([8, 12])
+        slide = rng.choice([3, 4])
+        window = SlidingWindow(size=size, slide=slide)
+        target = rng.choice(event_types)
+        spec = rng.choice(
+            [AggregateSpec.sum(target, "value"), AggregateSpec.avg(target, "value")]
+        )
+        queries = []
+        for index in range(3):
+            length = rng.randint(2, 3)
+            types = rng.sample(event_types, length)
+            if target not in types:
+                types[rng.randrange(length)] = target
+            queries.append(
+                Query(
+                    pattern=Pattern(types),
+                    window=window,
+                    aggregate=spec,
+                    predicates=PredicateSet.same("entity"),
+                    name=f"sq{index}",
+                )
+            )
+        workload = Workload(queries)
+        events = [
+            Event(
+                rng.choice(event_types),
+                rng.randint(0, 30),
+                {"entity": rng.randint(0, 1), "value": float(rng.randint(1, 9))},
+                event_id,
+            )
+            for event_id in range(rng.randint(20, 60))
+        ]
+        stream = EventStream(events, name="random-sum")
+
+        reference = FlinkLikeExecutor(workload).run(stream).results
+        for plan in _random_plans(rng, workload, count=2):
+            sharon = SharonExecutor(workload, plan=plan).run(stream).results
+            assert sharon.matches(reference), (
+                plan,
+                sharon.differences(reference)[:5],
+            )
 
 
 class TestSharingPlanNeverChangesAnswers:

@@ -132,3 +132,29 @@ class TestCommands:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["datasets", "--dataset", "nasdaq"])
+
+    def test_bench_command_writes_json(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.experiments import BenchRecord
+
+        # Substitute a canned measurement so the CLI test stays fast and
+        # deterministic; the real benchmark is exercised by
+        # benchmarks/test_engine_throughput.py.
+        record = BenchRecord(
+            scenario="scale-1x",
+            executor="Sharon",
+            events=100,
+            elapsed_seconds=0.01,
+            events_per_sec=10_000.0,
+            peak_mb=1.5,
+        )
+        monkeypatch.setattr("repro.experiments.run_engine_benchmark", lambda: [record])
+        output = tmp_path / "BENCH_engine.json"
+        exit_code = main(["bench", "--output", str(output)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Engine throughput benchmark" in captured.out
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["benchmark"] == "engine-throughput"
+        assert payload["results"][0]["scenario"] == "scale-1x"
