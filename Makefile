@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench figures lint
+.PHONY: test test-fast bench figures lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Tier-1 minus the benchmark suites (unit + property + integration).
+test-fast:
+	$(PYTHON) -m pytest -x -q tests
 
 ## Headless engine throughput benchmark; writes BENCH_engine.json.
 bench:

@@ -81,12 +81,21 @@ def run_best_of(
     executors; taking the best of a few runs removes scheduler noise without
     changing what is asserted (minimum runtime is the standard robust
     estimator for micro-benchmarks).
+
+    The returned run carries *all* latency samples in ``latency_samples_ms``
+    (and hence ``latency_spread``), so callers can record the min/median of
+    the sample set next to the best run — the figure benchmarks attach it to
+    their ``record_series`` output (``BENCH_engine.json``'s own spread
+    columns come from ``repro.experiments.bench``).
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     best: ExecutorRun | None = None
+    samples: list[float] = []
     for _ in range(repeats):
         run = run_executor(name, workload, stream, plan, **kwargs)
+        samples.append(run.latency_ms)
         if best is None or run.latency_ms < best.latency_ms:
             best = run
+    best.latency_samples_ms = tuple(samples)
     return best

@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import SCALE_FACTORS, run_engine_benchmark, write_bench_json
+from repro.experiments import (
+    SCALE_FACTORS,
+    run_compaction_benchmark,
+    run_engine_benchmark,
+    write_bench_json,
+)
 
 #: Maximum tolerated events/sec degradation from 1× to 16× stream scale.
 #: A quadratic engine degrades by ~the scale factor (16); the linear engine
@@ -31,6 +36,11 @@ MAX_SLOWDOWN_AT_16X = 4.0
 
 #: Sharon may not fall below this fraction of A-Seq on the dense scenario.
 MIN_SHARING_ADVANTAGE = 1.0
+
+#: Compaction-on throughput may not fall below this fraction of compaction-off
+#: on the long-window scenario (it is typically well *above* 1: fewer cohorts
+#: mean less column work per event; 0.9 leaves headroom for CI jitter).
+MIN_COMPACTION_THROUGHPUT_RATIO = 0.9
 
 
 @pytest.fixture(scope="module")
@@ -73,12 +83,61 @@ def test_sharon_beats_aseq_on_dense_scenario(bench_records):
     )
 
 
-def test_bench_json_schema(bench_records, tmp_path):
+@pytest.fixture(scope="module")
+def compaction_record():
+    return run_compaction_benchmark()
+
+
+def test_compaction_reduces_cohorts(compaction_record):
+    """The long-window scenario must actually merge cohorts (the whole point)."""
+    assert compaction_record.cohorts_merged > 0
+    assert compaction_record.cohorts_remaining < compaction_record.cohorts_created
+    # Shared-prefix carries are all unit: compaction should collapse nearly
+    # everything, not shave a few cohorts.
+    assert compaction_record.cohorts_merged >= compaction_record.cohorts_created // 2
+
+
+def test_compaction_does_not_regress_throughput(compaction_record):
+    on = compaction_record.compaction_on_events_per_sec
+    off = compaction_record.compaction_off_events_per_sec
+    assert on >= off * MIN_COMPACTION_THROUGHPUT_RATIO, (
+        f"compaction-on throughput ({on:,.0f} ev/s) fell below "
+        f"{MIN_COMPACTION_THROUGHPUT_RATIO:.0%} of compaction-off ({off:,.0f} ev/s) "
+        "on the long-window scenario - compaction is costing more than it saves"
+    )
+
+
+def test_records_expose_sample_spread(bench_records):
+    """Best-of-N records must carry the median so noise stays visible."""
+    for record in bench_records:
+        assert record.samples >= 2
+        assert record.elapsed_median_seconds >= record.elapsed_seconds
+
+
+def test_bench_json_schema(bench_records, compaction_record, tmp_path):
     import json
 
-    target = write_bench_json(bench_records, tmp_path / "BENCH_engine.json")
+    target = write_bench_json(
+        bench_records, tmp_path / "BENCH_engine.json", compaction=compaction_record
+    )
     payload = json.loads(target.read_text(encoding="utf-8"))
     assert payload["benchmark"] == "engine-throughput"
     assert len(payload["results"]) == len(bench_records)
     for row in payload["results"]:
-        assert {"scenario", "executor", "events_per_sec", "peak_mb"} <= set(row)
+        assert {
+            "scenario",
+            "executor",
+            "events_per_sec",
+            "peak_mb",
+            "elapsed_median_seconds",
+            "samples",
+        } <= set(row)
+    section = payload["cohort_compaction"]
+    assert section["scenario"] == "long-window"
+    assert section["cohorts_merged"] > 0
+    assert {
+        "cohorts_created",
+        "cohorts_remaining",
+        "compaction_on_events_per_sec",
+        "compaction_off_events_per_sec",
+    } <= set(section)

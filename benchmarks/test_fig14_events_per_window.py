@@ -76,4 +76,6 @@ def test_fig14_speedup_grows_with_window_content(benchmark):
         figure="14ae-shape",
         events_per_window=[r * WINDOW.size for r in EVENT_RATES],
         sharon_speedup_over_aseq=measured,
+        sharon_latency_spread_ms_at_largest=sharon.latency_spread,
+        aseq_latency_spread_ms_at_largest=aseq.latency_spread,
     )

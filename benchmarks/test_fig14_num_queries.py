@@ -87,4 +87,6 @@ def test_fig14_speedup_grows_with_queries(benchmark):
         num_queries=QUERY_COUNTS,
         sharon_speedup_over_aseq=measured,
         aseq_over_sharon_memory_at_largest=round(memory_ratio_at_largest, 2),
+        sharon_latency_spread_ms_at_largest=sharon.latency_spread,
+        aseq_latency_spread_ms_at_largest=aseq.latency_spread,
     )

@@ -86,4 +86,6 @@ def test_fig14_speedup_with_longer_patterns(benchmark):
         pattern_lengths=PATTERN_LENGTHS,
         sharon_speedup_over_aseq=measured,
         aseq_over_sharon_memory=[round(r, 2) for r in memory_ratios],
+        sharon_latency_spread_ms_at_largest=sharon.latency_spread,
+        aseq_latency_spread_ms_at_largest=aseq.latency_spread,
     )

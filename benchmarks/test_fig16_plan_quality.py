@@ -86,6 +86,8 @@ def test_fig16_optimal_plan_not_worse_than_greedy(benchmark):
                 "optimal_plan_score": round(optimal.score, 1),
                 "greedy_latency_ms": round(greedy_run.latency_ms, 2),
                 "optimal_latency_ms": round(optimal_run.latency_ms, 2),
+                "greedy_latency_spread_ms": greedy_run.latency_spread,
+                "optimal_latency_spread_ms": optimal_run.latency_spread,
                 "greedy_memory": greedy_run.memory_bytes,
                 "optimal_memory": optimal_run.memory_bytes,
             }

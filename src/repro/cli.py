@@ -208,24 +208,48 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments import run_engine_benchmark, write_bench_json
+    from .experiments import run_compaction_benchmark, run_engine_benchmark, write_bench_json
 
     parent = Path(args.output).resolve().parent
     if not parent.is_dir():
         raise SystemExit(f"output directory {parent} does not exist")
     records = run_engine_benchmark()
     rows = [
-        [r.scenario, r.executor, r.events, f"{r.events_per_sec:,.0f}", f"{r.peak_mb:.2f}"]
+        [
+            r.scenario,
+            r.executor,
+            r.events,
+            f"{r.events_per_sec:,.0f}",
+            f"{r.elapsed_median_seconds * 1000:,.1f}",
+            f"{r.peak_mb:.2f}",
+        ]
         for r in records
     ]
     print(
         format_table(
-            ["scenario", "executor", "events", "events/sec", "peak MB"],
+            ["scenario", "executor", "events", "events/sec (best)", "median ms", "peak MB"],
             rows,
             title="Engine throughput benchmark",
         )
     )
-    target = write_bench_json(records, args.output)
+    compaction = run_compaction_benchmark()
+    print(
+        format_table(
+            ["scenario", "events", "cohorts created", "merged", "ev/s on", "ev/s off"],
+            [
+                [
+                    compaction.scenario,
+                    compaction.events,
+                    compaction.cohorts_created,
+                    compaction.cohorts_merged,
+                    f"{compaction.compaction_on_events_per_sec:,.0f}",
+                    f"{compaction.compaction_off_events_per_sec:,.0f}",
+                ]
+            ],
+            title="Cohort compaction",
+        )
+    )
+    target = write_bench_json(records, args.output, compaction=compaction)
     print(f"\nWrote {len(records)} records to {target}")
     return 0
 

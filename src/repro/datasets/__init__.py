@@ -18,8 +18,10 @@ from .taxi import DEFAULT_STREETS, TaxiConfig, generate_taxi_stream, taxi_schema
 from .workloads import (
     PURCHASE_PATTERNS,
     TRAFFIC_PATTERNS,
+    describe_scenario,
     ecommerce_workload_scaled,
     purchase_workload,
+    random_scenario,
     traffic_workload,
     traffic_workload_scaled,
 )
@@ -44,8 +46,10 @@ __all__ = [
     "taxi_schema_registry",
     "PURCHASE_PATTERNS",
     "TRAFFIC_PATTERNS",
+    "describe_scenario",
     "ecommerce_workload_scaled",
     "purchase_workload",
+    "random_scenario",
     "traffic_workload",
     "traffic_workload_scaled",
 ]

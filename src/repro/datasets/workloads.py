@@ -18,10 +18,14 @@ Linear Road / e-commerce streams.
 
 from __future__ import annotations
 
+import random
+
+from ..events.event import Event
+from ..events.stream import EventStream
 from ..events.windows import SlidingWindow
 from ..queries.aggregates import AggregateSpec
 from ..queries.pattern import Pattern
-from ..queries.predicates import PredicateSet
+from ..queries.predicates import FilterPredicate, PredicateSet
 from ..queries.query import Query
 from ..queries.workload import Workload
 from .ecommerce import EcommerceConfig, item_types
@@ -35,6 +39,8 @@ __all__ = [
     "purchase_workload",
     "traffic_workload_scaled",
     "ecommerce_workload_scaled",
+    "random_scenario",
+    "describe_scenario",
 ]
 
 
@@ -107,6 +113,114 @@ def purchase_workload(
         for name, types in PURCHASE_PATTERNS.items()
     ]
     return Workload(queries, name="purchase")
+
+
+#: Event type alphabet of the randomized differential scenarios.
+_SCENARIO_TYPES = ("A", "B", "C", "D")
+
+
+def _random_pattern(rng: random.Random) -> Pattern:
+    """A short random pattern; occasionally with a repeated event type."""
+    length = rng.randint(2, 3)
+    if rng.random() < 0.15:
+        # Repeated types stress multi-position dispatch and cohort columns.
+        types = [rng.choice(_SCENARIO_TYPES) for _ in range(length)]
+    else:
+        types = rng.sample(_SCENARIO_TYPES, length)
+    return Pattern(tuple(types))
+
+
+def _random_aggregate(rng: random.Random, pattern: Pattern) -> AggregateSpec:
+    """A random RETURN clause targeting one of the pattern's event types."""
+    target = rng.choice(pattern.event_types)
+    roll = rng.random()
+    if roll < 0.45:
+        return AggregateSpec.count_star()
+    if roll < 0.60:
+        return AggregateSpec.count(target)
+    if roll < 0.72:
+        return AggregateSpec.sum(target, "value")
+    if roll < 0.82:
+        return AggregateSpec.min(target, "value")
+    if roll < 0.92:
+        return AggregateSpec.max(target, "value")
+    return AggregateSpec.avg(target, "value")
+
+
+def random_scenario(
+    seed: int,
+    max_queries: int = 4,
+    max_events: int = 36,
+    max_timestamp: int = 22,
+) -> tuple[Workload, EventStream]:
+    """One randomized differential-testing scenario: (uniform workload, stream).
+
+    Draws a grid point over the dimensions where aggregation bugs hide:
+    window size and slide (tumbling and overlapping), grouping attributes,
+    equivalence and filter predicates, per-query aggregate functions (COUNT,
+    SUM, MIN, MAX, AVG — they may differ across queries, exercising
+    multi-spec shared states), pattern shapes including repeated types, and
+    a short stream with bursty same-timestamp batches.  Deterministic in
+    ``seed`` so every scenario of the differential harness is reproducible.
+    """
+    rng = random.Random(seed)
+
+    size = rng.choice((4, 6, 8, 10, 12))
+    slide = rng.choice(tuple(s for s in (2, 3, 4, 6, size) if s <= size))
+    window = SlidingWindow(size=size, slide=slide)
+
+    group_by = ("region",) if rng.random() < 0.3 else ()
+    equivalences = PredicateSet.same("entity").equivalences if rng.random() < 0.4 else ()
+    filters = []
+    if rng.random() < 0.3:
+        event_type = rng.choice((None, rng.choice(_SCENARIO_TYPES)))
+        op = rng.choice((">", "<=", "!="))
+        filters.append(FilterPredicate("value", op, rng.randint(2, 8), event_type))
+    predicates = PredicateSet(equivalences=equivalences, filters=filters)
+
+    queries = []
+    for index in range(rng.randint(2, max_queries)):
+        pattern = _random_pattern(rng)
+        queries.append(
+            Query(
+                pattern=pattern,
+                window=window,
+                aggregate=_random_aggregate(rng, pattern),
+                predicates=predicates,
+                group_by=group_by,
+                name=f"s{seed}q{index}",
+            )
+        )
+    workload = Workload(queries, name=f"scenario-{seed}")
+
+    events = []
+    for event_id in range(rng.randint(8, max_events)):
+        events.append(
+            Event(
+                rng.choice(_SCENARIO_TYPES),
+                rng.randint(0, max_timestamp),
+                {
+                    "entity": rng.randint(0, 1),
+                    "region": rng.randint(0, 1),
+                    "value": rng.randint(0, 10),
+                },
+                event_id,
+            )
+        )
+    return workload, EventStream(events, name=f"scenario-{seed}")
+
+
+def describe_scenario(workload: Workload, stream: EventStream) -> str:
+    """Human-readable dump of a scenario (used by failing differential tests)."""
+    lines = [f"workload {workload.name!r}:"]
+    for query in workload:
+        lines.append(f"  {query!r}")
+    lines.append(f"stream {stream.name!r} ({len(stream)} events):")
+    for event in stream:
+        lines.append(
+            f"  ({event.event_type!r}, t={event.timestamp}, {dict(event.attributes)!r})"
+        )
+    return "\n".join(lines)
 
 
 def traffic_workload_scaled(

@@ -5,6 +5,7 @@ from .aseq import ASeqExecutor
 from .chained import QueryChainState, SharedSegmentRunner
 from .engine import CompiledWorkload, ExecutionReport, StreamingEngine, WindowGroupScope
 from .metrics import MetricsCollector, RunMetrics
+from .oracle import OracleBudgetExceeded, OracleExecutor, enumerate_sequences_naive
 from .prefix_agg import PrivateSegmentState, SharedAnchor, SharedSegmentState
 from .results import QueryResult, ResultSet
 from .sequences import (
@@ -26,6 +27,9 @@ __all__ = [
     "WindowGroupScope",
     "MetricsCollector",
     "RunMetrics",
+    "OracleBudgetExceeded",
+    "OracleExecutor",
+    "enumerate_sequences_naive",
     "PrivateSegmentState",
     "SharedAnchor",
     "SharedSegmentState",

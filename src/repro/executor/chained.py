@@ -127,6 +127,20 @@ class SharedSegmentRunner:
         self.combinations += performed
         return performed
 
+    def compact_to(self, representatives: Sequence[int]) -> None:
+        """Shrink the carry array to the compacted cohort set.
+
+        Called by :meth:`SharedSegmentState.compact` between batches with one
+        representative (old) cohort index per surviving cohort.  All members
+        of a merged group carry the same value by the compaction criterion,
+        so keeping the representative's carry is exact.  The running total is
+        untouched — it is a sum over absorbed deltas, not over cohorts.
+        """
+        if self._staged_carries:
+            raise RuntimeError("cannot compact a runner with staged carries")
+        carries = self.carries
+        self.carries = [carries[index] for index in representatives]
+
     def reset(self) -> None:
         """Clear per-scope state so the runner can serve a new scope."""
         self.carries.clear()

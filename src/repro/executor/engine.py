@@ -84,7 +84,12 @@ class CompiledWorkload:
     through the runner's delta subscription instead).
     """
 
-    def __init__(self, workload: Workload, plan: SharingPlan | None = None) -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        plan: SharingPlan | None = None,
+        compaction: bool = True,
+    ) -> None:
         if len(workload) == 0:
             raise ValueError("cannot execute an empty workload")
         if not workload.is_uniform():
@@ -95,6 +100,8 @@ class CompiledWorkload:
             )
         self.workload = workload
         self.plan = plan if plan is not None else SharingPlan()
+        #: Whether scopes built from this compilation auto-compact cohorts.
+        self.compaction = compaction
         reference: Query = workload[0]
         self.window: SlidingWindow = reference.window
         self.predicates: PredicateSet = reference.predicates
@@ -153,7 +160,7 @@ class WindowGroupScope:
         self.window = window
         self.group = group
         self.shared_states: dict[Pattern, SharedSegmentState] = {
-            pattern: SharedSegmentState(pattern, specs)
+            pattern: SharedSegmentState(pattern, specs, auto_compact=compiled.compaction)
             for pattern, specs in compiled.shared_specs.items()
         }
         self.chains: dict[str, QueryChainState] = {
@@ -202,6 +209,10 @@ class WindowGroupScope:
             shared_state.commit()
         for chain in active_chains:
             chain.commit()
+        # Cohort compaction runs strictly between batches, once every carry
+        # and column update of this batch is committed.
+        for shared_state in active_shared:
+            shared_state.maybe_compact()
 
     def finalize(self) -> list[QueryResult]:
         """Emit one result per query for this scope."""
@@ -228,6 +239,13 @@ class WindowGroupScope:
         private = sum(chain.update_count for chain in self.chains.values())
         return shared + private
 
+    @property
+    def cohort_stats(self) -> tuple[int, int]:
+        """(cohorts created, cohorts removed by compaction) across shared states."""
+        created = sum(state.cohorts_created for state in self.shared_states.values())
+        merged = sum(state.cohorts_merged for state in self.shared_states.values())
+        return created, merged
+
 
 class StreamingEngine:
     """Replays a stream against a compiled workload and collects results.
@@ -245,15 +263,17 @@ class StreamingEngine:
         plan: SharingPlan | None = None,
         name: str = "sharon",
         memory_sample_interval: int = 0,
+        compaction: bool = True,
     ) -> None:
         self.workload = workload
-        self.compiled = CompiledWorkload(workload, plan)
+        self.compaction = compaction
+        self.compiled = CompiledWorkload(workload, plan, compaction=compaction)
         self.name = name
         self.memory_sample_interval = memory_sample_interval
 
     def set_plan(self, plan: SharingPlan) -> None:
         """Switch to ``plan`` for scopes created from now on (plan migration)."""
-        self.compiled = CompiledWorkload(self.workload, plan)
+        self.compiled = CompiledWorkload(self.workload, plan, compaction=self.compaction)
 
     def run(
         self,
@@ -368,6 +388,9 @@ class StreamingEngine:
                     results.add(result)
                 collector.count_window(len(emitted))
                 collector.state_updates += scope.update_count
+                created, merged = scope.cohort_stats
+                collector.cohorts_created += created
+                collector.cohorts_merged += merged
                 if len(pool) < _SCOPE_POOL_LIMIT and scope.compiled is self.compiled:
                     scope.reset()
                     pool.append(scope)

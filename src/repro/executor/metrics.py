@@ -37,6 +37,9 @@ class RunMetrics:
     results_emitted: int = 0
     peak_memory_bytes: int = 0
     state_updates: int = 0
+    #: Anchor cohorts created / removed by compaction (shared online engine only).
+    cohorts_created: int = 0
+    cohorts_merged: int = 0
 
     @property
     def throughput_events_per_second(self) -> float:
@@ -78,6 +81,8 @@ class MetricsCollector:
     windows_finalized: int = 0
     results_emitted: int = 0
     state_updates: int = 0
+    cohorts_created: int = 0
+    cohorts_merged: int = 0
     _memory: PeakMemoryTracker = field(default_factory=PeakMemoryTracker)
     _started_at: float | None = None
     _elapsed: float = 0.0
@@ -132,4 +137,6 @@ class MetricsCollector:
             results_emitted=self.results_emitted,
             peak_memory_bytes=self._memory.peak_bytes,
             state_updates=self.state_updates,
+            cohorts_created=self.cohorts_created,
+            cohorts_merged=self.cohorts_merged,
         )

@@ -1,0 +1,178 @@
+"""Brute-force oracle executor: the ground truth for differential testing.
+
+The optimised executors in this package earn their speed through layered
+algebra — prefix aggregation, anchored sharing, cohort compaction, vectorised
+columns.  Every layer is a place where a silent aggregation bug can hide, so
+this module provides an executor with *no* layers at all:
+
+* every window instance is materialised,
+* every qualifying event sequence inside it is enumerated by naive recursion
+  over event indexes (no prefix-extension dynamic programming, no sharing of
+  sub-pattern work — deliberately nothing in common with the code under
+  test),
+* qualification and aggregation apply the paper's definitions literally:
+  :meth:`~repro.queries.query.Query.matches_sequence` checks types, strict
+  timestamp order, predicates, and grouping agreement per sequence, and
+  :meth:`~repro.queries.aggregates.AggregateSpec.evaluate_sequences` folds
+  the RETURN clause over the constructed matches.
+
+Cost is exponential in the pattern length by design — the oracle exists to be
+obviously correct on small inputs, not fast.  A sequence budget guards
+against accidental use on large scenarios.
+
+``tests/integration/test_oracle_differential.py`` runs Sharon, A-Seq, and the
+two-step baselines against this oracle on randomized scenario grids and
+shrinks any divergence to a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..events.event import Event
+from ..events.stream import EventStream
+from ..queries.query import Query
+from ..queries.workload import Workload
+from .engine import ExecutionReport
+from .metrics import MetricsCollector
+from .results import QueryResult, ResultSet
+
+__all__ = ["OracleExecutor", "OracleBudgetExceeded", "enumerate_sequences_naive"]
+
+
+class OracleBudgetExceeded(RuntimeError):
+    """Raised when the oracle would enumerate more sequences than its budget."""
+
+
+def enumerate_sequences_naive(
+    event_types: Sequence[str],
+    events: Sequence[Event],
+    budget: "int | None" = None,
+) -> list[tuple[Event, ...]]:
+    """All index-increasing event selections whose types follow ``event_types``.
+
+    Plain backtracking over event indexes: position ``j`` may pick any event
+    after position ``j-1``'s pick whose type equals ``event_types[j]``.  No
+    timestamp, predicate, or grouping logic here — callers filter the
+    candidates with :meth:`Query.matches_sequence`, keeping this enumerator
+    trivially auditable.  Two events sharing a timestamp yield one candidate
+    per index order; the strict-timestamp check discards both, so no
+    deduplication is needed.
+
+    ``budget`` bounds the *explored partial selections* (recursion steps),
+    not just completed matches, so match-free combinatorial blowups (a huge
+    prefix space whose final type never occurs) abort instead of hanging.
+    """
+    matches: list[tuple[Event, ...]] = []
+    length = len(event_types)
+    chosen: list[Event] = []
+    steps = 0
+
+    def recurse(position: int, start_index: int) -> None:
+        nonlocal steps
+        if position == length:
+            matches.append(tuple(chosen))
+            return
+        wanted = event_types[position]
+        for index in range(start_index, len(events)):
+            event = events[index]
+            if event.event_type != wanted:
+                continue
+            steps += 1
+            if budget is not None and steps > budget:
+                raise OracleBudgetExceeded(
+                    f"oracle explored more than {budget} partial sequences "
+                    "in one window - shrink the scenario"
+                )
+            chosen.append(event)
+            recurse(position + 1, index + 1)
+            chosen.pop()
+
+    recurse(0, 0)
+    return matches
+
+
+class OracleExecutor:
+    """Window-materialising brute-force executor (test oracle).
+
+    Unlike the engine-backed executors it does not require a uniform
+    workload: each query is evaluated independently, straight from its own
+    window, predicates, and grouping.
+
+    Parameters
+    ----------
+    workload:
+        The queries to evaluate.
+    max_sequences_per_window:
+        Budget on candidate sequences enumerated per (query, window); the
+        run aborts with :class:`OracleBudgetExceeded` beyond it.
+    """
+
+    name = "Oracle"
+
+    def __init__(
+        self,
+        workload: Workload,
+        max_sequences_per_window: "int | None" = 500_000,
+    ) -> None:
+        if len(workload) == 0:
+            raise ValueError("cannot execute an empty workload")
+        self.workload = workload
+        self.max_sequences_per_window = max_sequences_per_window
+
+    def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
+        """Materialise every window of every query and aggregate its matches."""
+        events = list(stream)
+        collector = MetricsCollector(executor_name=self.name, memory_sample_interval=0)
+        collector.start()
+        results = ResultSet()
+        relevant_types = {
+            event_type for query in self.workload for event_type in query.pattern.event_types
+        }
+        for event in events:
+            collector.count_event(event.event_type in relevant_types)
+        if events:
+            start_time = min(event.timestamp for event in events)
+            end_time = max(event.timestamp for event in events)
+            for query in self.workload:
+                self._run_query(query, events, start_time, end_time, results, collector)
+        for result in results:
+            collector.results_emitted += 1
+        metrics = collector.finish()
+        return ExecutionReport(results=results, metrics=metrics, plan=None)
+
+    # -- internals ----------------------------------------------------------------
+    def _run_query(
+        self,
+        query: Query,
+        events: list[Event],
+        start_time: int,
+        end_time: int,
+        results: ResultSet,
+        collector: MetricsCollector,
+    ) -> None:
+        #: Events that could ever participate in a match of this query.
+        relevant = [event for event in events if query.accepts(event)]
+        if not relevant:
+            return
+        for window in query.window.instances_between(start_time, end_time):
+            in_window = [event for event in relevant if window.contains(event.timestamp)]
+            if not in_window:
+                continue
+            candidates = enumerate_sequences_naive(
+                query.pattern.event_types, in_window, self.max_sequences_per_window
+            )
+            matches = [
+                candidate for candidate in candidates if query.matches_sequence(candidate)
+            ]
+            by_group: dict[tuple, list[tuple[Event, ...]]] = {}
+            for match in matches:
+                by_group.setdefault(query.grouping_key(match[0]), []).append(match)
+            # Like the online engine, emit a (possibly zero-valued) result for
+            # every group that contributed at least one relevant event.
+            groups_present = {query.grouping_key(event) for event in in_window}
+            for group in groups_present:
+                value = query.aggregate.evaluate_sequences(by_group.get(group, []))
+                results.add(QueryResult(query.name, window, group, value))
+            collector.windows_finalized += 1
+            collector.state_updates += len(matches)

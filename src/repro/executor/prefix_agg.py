@@ -26,13 +26,30 @@ is frozen per batch, and every extension applies to all of them identically.
 Merging them is therefore lossless (the aggregate state is a commutative
 monoid and ``extend``/``combine`` distribute over ``merge``), and it makes
 the per-event extension cost proportional to the number of *timestamps* that
-created anchors instead of the number of START *events* — the high-rate
-regime of Figure 13 stays linear in the stream.
+created anchors instead of the number of START *events*.
 
-The cohort state uses a struct-of-arrays layout: one parallel array per
-(aggregate spec, pattern position), indexed by cohort id.  Running totals
-(:meth:`SharedSegmentState.total_completed`) and the per-query combined
-values (:meth:`~repro.executor.chained.SharedSegmentRunner.chain_value`) are
+Two further optimisations keep long-lived scopes cheap:
+
+* **Vectorised columns** — the cohort state uses a struct-of-arrays layout:
+  one flat column per (aggregate spec, pattern position), indexed by cohort
+  id.  A batch is reduced once per position to an
+  :meth:`~repro.queries.aggregates.AggregateSpec.summarise_batch` summary and
+  applied to the whole column in a single pass (a batch add of the staged
+  deltas), instead of per-event ``extend``/``merge`` object churn.  COUNT(*)
+  columns degenerate to plain integer lists (:class:`_CountColumns`), the
+  paper's common case.
+* **Cohort compaction** (:meth:`SharedSegmentState.compact`) — cohorts whose
+  carries have become element-wise identical in *every* registered
+  :class:`~repro.executor.chained.SharedSegmentRunner` are merged, so a scope
+  holds O(distinct carries) cohorts instead of O(anchor timestamps).  Because
+  ``combine`` distributes over ``merge`` in its right argument
+  (``c ⊗ (d1 ⊕ d2) = c ⊗ d1 ⊕ c ⊗ d2``), folding the merged cohort's future
+  completion deltas against the common carry is exactly the sum over the
+  original cohorts — the merge is lossless.
+
+Running totals (:meth:`SharedSegmentState.total_completed`) and the per-query
+combined values
+(:meth:`~repro.executor.chained.SharedSegmentRunner.chain_value`) are
 maintained incrementally from per-batch deltas, so both are O(1) reads.
 
 Both classes use two-phase *stage/commit* batch processing: all reads of a
@@ -47,7 +64,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..events.event import Event
-from ..queries.aggregates import AggregateSpec, AggregateState
+from ..queries.aggregates import AggregateSpec, AggregateState, AggregationKind
 from ..queries.pattern import Pattern
 
 __all__ = ["PrivateSegmentState", "SharedSegmentState", "SharedAnchor", "positions_by_type"]
@@ -59,6 +76,15 @@ CarryProvider = Callable[[], AggregateState]
 _ZERO = AggregateState.zero()
 _UNIT = AggregateState.unit()
 
+#: Cohort count below which :meth:`SharedSegmentState.maybe_compact` does not
+#: bother scanning (compaction is amortised by doubling this threshold when a
+#: scan fails to shrink the cohort set).
+_MIN_COMPACT_COHORTS = 8
+
+#: A batch reduced per (spec, position): (k, targeted, total, min, max) —
+#: the argument tuple of AggregateState.extend_many.
+_BatchSummary = tuple[int, int, float, "float | None", "float | None"]
+
 
 def positions_by_type(pattern: Pattern) -> dict[str, tuple[int, ...]]:
     """Map each event type to the (0-based) positions it occupies in ``pattern``."""
@@ -66,6 +92,19 @@ def positions_by_type(pattern: Pattern) -> dict[str, tuple[int, ...]]:
     for index, event_type in enumerate(pattern.event_types):
         positions.setdefault(event_type, []).append(index)
     return {event_type: tuple(indexes) for event_type, indexes in positions.items()}
+
+
+def _group_by_position(
+    events: Sequence[Event], positions: dict[str, tuple[int, ...]]
+) -> "dict[int, list[Event]] | None":
+    """Bucket a batch's events by the pattern positions their type occupies."""
+    by_position: dict[int, list[Event]] | None = None
+    for event in events:
+        for position in positions.get(event.event_type, ()):
+            if by_position is None:
+                by_position = {}
+            by_position.setdefault(position, []).append(event)
+    return by_position
 
 
 class PrivateSegmentState:
@@ -84,30 +123,34 @@ class PrivateSegmentState:
         self.updates = 0
 
     def stage_batch(self, events: Sequence[Event], carry: CarryProvider) -> None:
-        """Compute this batch's additions against the pre-batch state."""
+        """Compute this batch's additions against the pre-batch state.
+
+        The batch is reduced once per position (``summarise_batch``) and
+        applied with one fused ``extend_many`` instead of per-event
+        ``extend``/``merge`` pairs.
+        """
+        by_position = _group_by_position(events, self._positions)
+        if by_position is None:
+            self._staged = None
+            return
         additions: dict[int, AggregateState] | None = None
         carry_value: AggregateState | None = None
-        positions = self._positions
         states = self.states
         spec = self.spec
-        for event in events:
-            for position in positions.get(event.event_type, ()):
-                if position == 0:
-                    if carry_value is None:
-                        carry_value = carry()
-                    base = carry_value
-                else:
-                    base = states[position - 1]
-                if base.count == 0:
-                    continue
-                if additions is None:
-                    additions = {}
-                previous = additions.get(position)
-                extended = base.extend(event, spec)
-                additions[position] = (
-                    extended if previous is None else previous.merge(extended)
-                )
-                self.updates += 1
+        for position, bucket in by_position.items():
+            if position == 0:
+                if carry_value is None:
+                    carry_value = carry()
+                base = carry_value
+            else:
+                base = states[position - 1]
+            if base.count == 0:
+                continue
+            if additions is None:
+                additions = {}
+            summary = spec.summarise_batch(bucket)
+            additions[position] = base.extend_many(*summary)
+            self.updates += summary[0]
         self._staged = additions
 
     def commit(self) -> None:
@@ -153,6 +196,134 @@ class SharedAnchor:
         return self.states[spec][-1]
 
 
+class _StateColumns:
+    """Struct-of-arrays columns of one aggregate spec (AggregateState cells).
+
+    One flat list per pattern position, indexed by cohort id.  Used for every
+    spec that tracks more than the sequence count (COUNT(E), SUM, MIN, MAX,
+    AVG).
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, length: int) -> None:
+        self.columns: list[list[AggregateState]] = [[] for _ in range(length)]
+
+    def append_cohort(self, initial: AggregateState) -> None:
+        self.columns[0].append(initial)
+        for column in self.columns[1:]:
+            column.append(_ZERO)
+
+    def state_at(self, position: int, cohort: int) -> AggregateState:
+        return self.columns[position][cohort]
+
+    def column_states(self, position: int) -> list[AggregateState]:
+        return list(self.columns[position])
+
+    def extend_commit(
+        self, position: int, summary: _BatchSummary, collect_deltas: bool
+    ) -> tuple["list[tuple[int, AggregateState]] | None", int]:
+        """Apply one batch summary to a whole column in a single pass.
+
+        Returns the per-cohort deltas (when ``collect_deltas``, i.e. at the
+        completion position) and the number of aggregate updates performed.
+        """
+        base = self.columns[position - 1]
+        column = self.columns[position]
+        deltas: list[tuple[int, AggregateState]] | None = [] if collect_deltas else None
+        touched = 0
+        k = summary[0]
+        for cohort, base_state in enumerate(base):
+            if base_state.count == 0:
+                continue
+            addition = base_state.extend_many(*summary)
+            column[cohort] = column[cohort].merge(addition)
+            touched += 1
+            if deltas is not None:
+                deltas.append((cohort, addition))
+        return deltas, touched * k
+
+    def merge_cohorts(self, groups: Sequence[Sequence[int]]) -> None:
+        for column in self.columns:
+            merged = []
+            for group in groups:
+                value = column[group[0]]
+                for cohort in group[1:]:
+                    value = value.merge(column[cohort])
+                merged.append(value)
+            column[:] = merged
+
+    def clear(self) -> None:
+        for column in self.columns:
+            column.clear()
+
+
+class _CountColumns:
+    """COUNT(*) fast path: flat integer columns.
+
+    A COUNT(*) aggregate state is fully determined by its sequence count
+    (``extend`` is the identity for it), so the column cells are plain
+    ``int``s and the batch update is integer arithmetic over flat lists —
+    no ``AggregateState`` allocation on the hot path.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, length: int) -> None:
+        self.columns: list[list[int]] = [[] for _ in range(length)]
+
+    def append_cohort(self, initial: AggregateState) -> None:
+        self.columns[0].append(initial.count)
+        for column in self.columns[1:]:
+            column.append(0)
+
+    def state_at(self, position: int, cohort: int) -> AggregateState:
+        count = self.columns[position][cohort]
+        return AggregateState(count=count) if count else _ZERO
+
+    def column_states(self, position: int) -> list[AggregateState]:
+        return [AggregateState(count=n) if n else _ZERO for n in self.columns[position]]
+
+    def extend_commit(
+        self, position: int, summary: _BatchSummary, collect_deltas: bool
+    ) -> tuple["list[tuple[int, AggregateState]] | None", int]:
+        base = self.columns[position - 1]
+        column = self.columns[position]
+        k = summary[0]
+        if collect_deltas:
+            deltas: list[tuple[int, AggregateState]] = []
+            touched = 0
+            for cohort, base_count in enumerate(base):
+                if not base_count:
+                    continue
+                added = k * base_count
+                column[cohort] += added
+                deltas.append((cohort, AggregateState(count=added)))
+                touched += 1
+            return deltas, touched * k
+        touched = 0
+        for cohort, base_count in enumerate(base):
+            if not base_count:
+                continue
+            column[cohort] += k * base_count
+            touched += 1
+        return None, touched * k
+
+    def merge_cohorts(self, groups: Sequence[Sequence[int]]) -> None:
+        for column in self.columns:
+            column[:] = [sum(column[cohort] for cohort in group) for group in groups]
+
+    def clear(self) -> None:
+        for column in self.columns:
+            column.clear()
+
+
+def _make_columns(spec: AggregateSpec, length: int) -> "_CountColumns | _StateColumns":
+    if spec.kind == AggregationKind.COUNT_STAR:
+        return _CountColumns(length)
+    return _StateColumns(length)
+
+
 class SharedSegmentState:
     """Anchored prefix aggregation of one shared pattern inside one scope.
 
@@ -171,34 +342,49 @@ class SharedSegmentState:
         The distinct aggregate specifications of the sharing queries; one
         aggregate family is tracked per spec (a single family when the whole
         workload uses COUNT(*), the common case in the paper).
+    auto_compact:
+        When true, :meth:`maybe_compact` (called by the engine after each
+        batch) merges cohorts whose carries are identical in every registered
+        runner, once the cohort count passes an amortised threshold.
     """
 
     __slots__ = (
         "pattern",
         "specs",
+        "auto_compact",
         "_positions",
         "_length",
         "anchor_starts",
-        "_columns",
+        "_families",
         "_totals",
         "staged_new_anchors",
         "_staged",
         "_runners",
+        "_compact_threshold",
         "updates",
+        "cohorts_created",
+        "cohorts_merged",
+        "compactions",
     )
 
-    def __init__(self, pattern: Pattern, specs: Iterable[AggregateSpec]) -> None:
+    def __init__(
+        self,
+        pattern: Pattern,
+        specs: Iterable[AggregateSpec],
+        auto_compact: bool = False,
+    ) -> None:
         self.pattern = pattern
         self.specs = tuple(dict.fromkeys(specs))
         if not self.specs:
             raise ValueError("a shared segment needs at least one aggregate spec")
+        self.auto_compact = auto_compact
         self._positions = positions_by_type(pattern)
         self._length = len(pattern)
         #: First START event of each anchor cohort, indexed by cohort id.
         self.anchor_starts: list[Event] = []
-        #: Struct-of-arrays storage: ``_columns[spec][position][cohort]``.
-        self._columns: dict[AggregateSpec, list[list[AggregateState]]] = {
-            spec: [[] for _ in range(self._length)] for spec in self.specs
+        #: Struct-of-arrays storage, one column family per spec.
+        self._families: dict[AggregateSpec, _CountColumns | _StateColumns] = {
+            spec: _make_columns(spec, self._length) for spec in self.specs
         }
         #: Running totals over completed matches, one per spec (O(1) reads).
         self._totals: dict[AggregateSpec, AggregateState] = {
@@ -206,11 +392,16 @@ class SharedSegmentState:
         }
         #: START events arriving in the current batch (one new cohort).
         self.staged_new_anchors: list[Event] = []
-        #: Sparse staged additions: ``{(spec, position): {cohort: addition}}``.
-        self._staged: dict[tuple[AggregateSpec, int], dict[int, AggregateState]] | None = None
+        #: Staged extension batches: ``{position: [events]}``; ``None`` between batches.
+        self._staged: dict[int, list[Event]] | None = None
         #: Registered per-query runners receiving completion deltas.
         self._runners: list = []
+        self._compact_threshold = _MIN_COMPACT_COHORTS
         self.updates = 0
+        #: Compaction statistics (harvested by the engine at finalization).
+        self.cohorts_created = 0
+        self.cohorts_merged = 0
+        self.compactions = 0
 
     # -- wiring ----------------------------------------------------------------
     def register(self, runner) -> None:
@@ -221,98 +412,147 @@ class SharedSegmentState:
         return event.event_type in self._positions
 
     @property
+    def cohort_count(self) -> int:
+        """Number of live anchor cohorts (after any compaction)."""
+        return len(self.anchor_starts)
+
+    @property
     def anchors(self) -> list[SharedAnchor]:
         """Materialised per-cohort view (tests/introspection only, not hot path)."""
         views = []
         for cohort, start_event in enumerate(self.anchor_starts):
             states = {
-                spec: [columns[position][cohort] for position in range(self._length)]
-                for spec, columns in self._columns.items()
+                spec: [family.state_at(position, cohort) for position in range(self._length)]
+                for spec, family in self._families.items()
             }
             views.append(SharedAnchor(start_event, states))
         return views
 
     def completed_column(self, spec: AggregateSpec) -> list[AggregateState]:
         """Per-cohort aggregates over complete matches (parallel to carries)."""
-        return self._columns[spec][-1]
+        return self._families[spec].column_states(self._length - 1)
 
     # -- batch processing --------------------------------------------------------
     def stage_batch(self, events: Sequence[Event]) -> None:
         """Stage anchor creations and extensions for one same-timestamp batch."""
-        staged: dict[tuple[AggregateSpec, int], dict[int, AggregateState]] | None = None
-        new_anchors: list[Event] = []
-        positions = self._positions
-        columns = self._columns
-        for event in events:
-            for position in positions.get(event.event_type, ()):
-                if position == 0:
-                    new_anchors.append(event)
-                    self.updates += 1
-                    continue
-                for spec in self.specs:
-                    base_column = columns[spec][position - 1]
-                    bucket = None
-                    for cohort, base in enumerate(base_column):
-                        if base.count == 0:
-                            continue
-                        if bucket is None:
-                            if staged is None:
-                                staged = {}
-                            bucket = staged.setdefault((spec, position), {})
-                        extended = base.extend(event, spec)
-                        previous = bucket.get(cohort)
-                        bucket[cohort] = (
-                            extended if previous is None else previous.merge(extended)
-                        )
-                        self.updates += 1
+        by_position = _group_by_position(events, self._positions)
+        if by_position is None:
+            self.staged_new_anchors = []
+            self._staged = None
+            return
+        new_anchors = by_position.pop(0, [])
+        self.updates += len(new_anchors)
         self.staged_new_anchors = new_anchors
-        self._staged = staged
+        self._staged = by_position or None
 
     def commit(self) -> None:
         """Apply the staged batch and publish completion deltas.
 
-        Totals and registered runners are updated from the deltas of the
-        final pattern position, so ``total_completed`` and every runner's
-        ``chain_value`` stay O(1) reads.
+        Extension batches are applied column-at-a-time in *descending*
+        position order, so every position reads the pre-batch values of the
+        position below it (stage/commit semantics without materialising the
+        additions).  Totals and registered runners are updated from the
+        deltas of the final pattern position, so ``total_completed`` and
+        every runner's ``chain_value`` stay O(1) reads.
         """
         last = self._length - 1
-        completed: list[tuple[int, AggregateSpec, AggregateState]] = []
+        completed: list[tuple[AggregateSpec, list[tuple[int, AggregateState]]]] = []
 
         staged = self._staged
         if staged is not None:
-            for (spec, position), bucket in staged.items():
-                column = self._columns[spec][position]
-                for cohort, addition in bucket.items():
-                    column[cohort] = column[cohort].merge(addition)
-                    if position == last:
-                        completed.append((cohort, spec, addition))
+            families = self._families
+            for position in sorted(staged, reverse=True):
+                bucket = staged[position]
+                for spec, family in families.items():
+                    summary = spec.summarise_batch(bucket)
+                    deltas, applied = family.extend_commit(position, summary, position == last)
+                    self.updates += applied
+                    if deltas:
+                        completed.append((spec, deltas))
             self._staged = None
 
         if self.staged_new_anchors:
             cohort = len(self.anchor_starts)
             self.anchor_starts.append(self.staged_new_anchors[0])
-            for spec in self.specs:
-                initial = _ZERO
-                for event in self.staged_new_anchors:
-                    initial = initial.merge(_UNIT.extend(event, spec))
-                columns = self._columns[spec]
-                columns[0].append(initial)
-                for position in range(1, self._length):
-                    columns[position].append(_ZERO)
-                if last == 0:
-                    completed.append((cohort, spec, initial))
+            self.cohorts_created += 1
+            batch = self.staged_new_anchors
+            for spec, family in self._families.items():
+                initial = _UNIT.extend_many(*spec.summarise_batch(batch))
+                family.append_cohort(initial)
+                if last == 0 and initial.count:
+                    completed.append((spec, [(cohort, initial)]))
             self.staged_new_anchors = []
 
         if completed:
             totals = self._totals
             runners = self._runners
-            for cohort, spec, delta in completed:
-                if delta.count == 0:
-                    continue
-                totals[spec] = totals[spec].merge(delta)
-                for runner in runners:
-                    if runner.spec is spec or runner.spec == spec:
+            for spec, deltas in completed:
+                spec_runners = [
+                    runner for runner in runners if runner.spec is spec or runner.spec == spec
+                ]
+                for cohort, delta in deltas:
+                    if delta.count == 0:
+                        continue
+                    totals[spec] = totals[spec].merge(delta)
+                    for runner in spec_runners:
                         runner.absorb_completed(cohort, delta)
+
+    # -- cohort compaction --------------------------------------------------------
+    def compact(self) -> int:
+        """Merge cohorts whose carries are identical in every registered runner.
+
+        Lossless by distributivity: for cohorts ``i``/``j`` with the same
+        carry ``c`` in every runner, all future contributions satisfy
+        ``c ⊗ d_i ⊕ c ⊗ d_j = c ⊗ (d_i ⊕ d_j)``, so the merged cohort's
+        element-wise merged columns reproduce the original sums exactly.
+        Totals and runner chain values are unaffected (they are running sums).
+
+        Must be called between batches (after ``commit``).  Returns the
+        number of cohorts removed.  With no registered runner every cohort
+        is trivially mergeable — standalone states should only call this
+        when that degenerate collapse is intended.
+        """
+        if self._staged is not None or self.staged_new_anchors:
+            raise RuntimeError("compact() must be called between batches, after commit()")
+        total = len(self.anchor_starts)
+        if total <= 1:
+            return 0
+        carry_lists = [runner.carries for runner in self._runners]
+        group_index: dict[tuple, int] = {}
+        groups: list[list[int]] = []
+        for cohort in range(total):
+            key = tuple(carries[cohort] for carries in carry_lists)
+            index = group_index.get(key)
+            if index is None:
+                group_index[key] = len(groups)
+                groups.append([cohort])
+            else:
+                groups[index].append(cohort)
+        if len(groups) == total:
+            return 0
+        self.anchor_starts[:] = [self.anchor_starts[group[0]] for group in groups]
+        for family in self._families.values():
+            family.merge_cohorts(groups)
+        representatives = [group[0] for group in groups]
+        for runner in self._runners:
+            runner.compact_to(representatives)
+        merged = total - len(groups)
+        self.cohorts_merged += merged
+        self.compactions += 1
+        return merged
+
+    def maybe_compact(self) -> int:
+        """Amortised compaction trigger called by the engine after each batch.
+
+        Scans only when the cohort count passes a threshold that doubles
+        after every scan, so the total compaction work stays linear in the
+        number of cohorts ever created.
+        """
+        if not self.auto_compact or len(self.anchor_starts) < self._compact_threshold:
+            return 0
+        merged = self.compact()
+        self._compact_threshold = max(_MIN_COMPACT_COHORTS, 2 * len(self.anchor_starts))
+        return merged
 
     # -- reads -------------------------------------------------------------------
     def total_completed(self, spec: AggregateSpec) -> AggregateState:
@@ -327,14 +567,17 @@ class SharedSegmentState:
         reuse across window instances does not reallocate the layout.
         """
         self.anchor_starts.clear()
-        for columns in self._columns.values():
-            for column in columns:
-                column.clear()
+        for family in self._families.values():
+            family.clear()
         for spec in self.specs:
             self._totals[spec] = _ZERO
         self.staged_new_anchors = []
         self._staged = None
+        self._compact_threshold = _MIN_COMPACT_COHORTS
         self.updates = 0
+        self.cohorts_created = 0
+        self.cohorts_merged = 0
+        self.compactions = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SharedSegmentState({self.pattern!r}, anchors={len(self.anchor_starts)})"
+        return f"SharedSegmentState({self.pattern!r}, cohorts={len(self.anchor_starts)})"

@@ -41,6 +41,10 @@ class SharonExecutor:
     memory_sample_interval:
         How often (in finalized windows) to sample peak memory; ``0`` disables
         sampling.
+    compaction:
+        Whether shared states merge anchor cohorts whose carries have become
+        identical for every sharing query (on by default; disabling it is
+        only useful for differential testing and benchmarking).
     """
 
     name = "Sharon"
@@ -51,6 +55,7 @@ class SharonExecutor:
         plan: SharingPlan | None = None,
         rates: "RateCatalog | BenefitModel | None" = None,
         memory_sample_interval: int = 0,
+        compaction: bool = True,
     ) -> None:
         if plan is None:
             if rates is None:
@@ -59,7 +64,11 @@ class SharonExecutor:
         self.workload = workload
         self.plan = plan
         self._engine = StreamingEngine(
-            workload, plan=plan, name=self.name, memory_sample_interval=memory_sample_interval
+            workload,
+            plan=plan,
+            name=self.name,
+            memory_sample_interval=memory_sample_interval,
+            compaction=compaction,
         )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

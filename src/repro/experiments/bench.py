@@ -23,24 +23,33 @@ from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from ..core.candidates import SharingCandidate
+from ..core.plan import SharingPlan
 from ..datasets.synthetic import ChainConfig, chain_stream, chain_workload
+from ..events.event import Event
 from ..events.stream import EventStream
 from ..events.windows import SlidingWindow
 from ..executor.aseq import ASeqExecutor
 from ..executor.shared import SharonExecutor
+from ..queries.pattern import Pattern
+from ..queries.query import Query
 from ..queries.workload import Workload
 from ..utils.rates import RateCatalog
 
 __all__ = [
     "BenchRecord",
+    "CohortCompactionRecord",
     "SCALE_FACTORS",
     "scaling_scenario",
     "dense_sharing_scenario",
+    "long_window_scenario",
     "run_engine_benchmark",
+    "run_compaction_benchmark",
     "write_bench_json",
 ]
 
@@ -53,7 +62,14 @@ DEFAULT_BENCH_PATH = "BENCH_engine.json"
 
 @dataclass(frozen=True)
 class BenchRecord:
-    """One (scenario, executor) measurement of the engine benchmark."""
+    """One (scenario, executor) measurement of the engine benchmark.
+
+    Each measurement is best-of-N: ``elapsed_seconds`` (and the derived
+    ``events_per_sec``) is the minimum over ``samples`` runs, and
+    ``elapsed_median_seconds`` exposes the sample spread so noisy records are
+    visible in the performance trajectory instead of being silently hidden by
+    the best run.
+    """
 
     scenario: str
     executor: str
@@ -61,6 +77,31 @@ class BenchRecord:
     elapsed_seconds: float
     events_per_sec: float
     peak_mb: float
+    elapsed_median_seconds: float = 0.0
+    samples: int = 1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CohortCompactionRecord:
+    """The cohort-compaction section of ``BENCH_engine.json``.
+
+    Captures, on the long-window high-anchor scenario, how many anchor
+    cohorts the shared states created and how many compaction merged away,
+    plus the Sharon throughput with compaction on vs off — the machine-checked
+    statement that compaction shrinks state *and* does not cost throughput.
+    """
+
+    scenario: str
+    events: int
+    cohorts_created: int
+    cohorts_merged: int
+    cohorts_remaining: int
+    compaction_on_events_per_sec: float
+    compaction_off_events_per_sec: float
+    samples: int = 1
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -132,12 +173,55 @@ def dense_sharing_scenario(
     return workload, stream
 
 
+def long_window_scenario(
+    num_queries: int = 8,
+    window: SlidingWindow | None = None,
+    duration: int = 240,
+) -> tuple[Workload, EventStream, SharingPlan]:
+    """Long window, one anchor cohort per timestamp: the compaction regime.
+
+    Every query shares the two-type prefix ``(A, B)``, so each sharing
+    runner's carry is permanently the unit state and *all* anchor cohorts are
+    mergeable.  Without compaction a scope accumulates one cohort per
+    timestamp for the whole (long) window; with compaction it holds one.
+    """
+    window = window if window is not None else SlidingWindow(size=120, slide=60)
+    suffix_types = tuple(f"T{i}" for i in range(num_queries))
+    queries = [
+        Query(Pattern(("A", "B", suffix)), window, name=f"lw{i}")
+        for i, suffix in enumerate(suffix_types)
+    ]
+    workload = Workload(queries, name="long-window")
+    plan = SharingPlan(
+        [SharingCandidate(Pattern(("A", "B")), tuple(q.name for q in queries), 1.0)]
+    )
+    events = []
+    event_id = 0
+    for timestamp in range(duration):
+        for event_type in ("A", "B", suffix_types[timestamp % num_queries]):
+            events.append(Event(event_type, timestamp, {}, event_id))
+            event_id += 1
+    return workload, EventStream(events, name="long-window"), plan
+
+
+def _timed_run(executor, stream: EventStream, repeats: int):
+    """Best-of-``repeats`` wall-clock measurement of one executor."""
+    elapsed_samples: list[float] = []
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = executor.run(stream)
+        elapsed_samples.append(time.perf_counter() - started)
+    return report, min(elapsed_samples), statistics.median(elapsed_samples)
+
+
 def _measure(
     scenario: str,
     executor_name: str,
     workload: Workload,
     stream: EventStream,
     memory_sample_interval: int,
+    repeats: int = 3,
 ) -> BenchRecord:
     if executor_name == "Sharon":
         rates = RateCatalog.from_stream(stream, per="window", window_size=workload[0].window.size)
@@ -148,17 +232,17 @@ def _measure(
         executor = ASeqExecutor(workload, memory_sample_interval=memory_sample_interval)
     else:  # pragma: no cover - guarded by callers
         raise ValueError(f"unknown benchmark executor {executor_name!r}")
-    started = time.perf_counter()
-    report = executor.run(stream)
-    elapsed = time.perf_counter() - started
+    report, best, median = _timed_run(executor, stream, repeats)
     total = len(stream)
     return BenchRecord(
         scenario=scenario,
         executor=executor_name,
         events=total,
-        elapsed_seconds=round(elapsed, 6),
-        events_per_sec=round(total / elapsed if elapsed > 0 else float(total), 1),
+        elapsed_seconds=round(best, 6),
+        events_per_sec=round(total / best if best > 0 else float(total), 1),
         peak_mb=round(report.metrics.peak_memory_bytes / 1_000_000, 3),
+        elapsed_median_seconds=round(median, 6),
+        samples=repeats,
     )
 
 
@@ -166,6 +250,7 @@ def run_engine_benchmark(
     scales: tuple[int, ...] = SCALE_FACTORS,
     memory_sample_interval: int = 2,
     executors: tuple[str, ...] = ("Sharon", "A-Seq"),
+    repeats: int = 3,
 ) -> list[BenchRecord]:
     """Run all scenarios × executors and return the measurement records."""
     records: list[BenchRecord] = []
@@ -173,18 +258,62 @@ def run_engine_benchmark(
         workload, stream = scaling_scenario(scale)
         for executor_name in executors:
             records.append(
-                _measure(f"scale-{scale}x", executor_name, workload, stream, memory_sample_interval)
+                _measure(
+                    f"scale-{scale}x",
+                    executor_name,
+                    workload,
+                    stream,
+                    memory_sample_interval,
+                    repeats,
+                )
             )
     workload, stream = dense_sharing_scenario()
     for executor_name in executors:
         records.append(
-            _measure("fig13-dense", executor_name, workload, stream, memory_sample_interval)
+            _measure("fig13-dense", executor_name, workload, stream, memory_sample_interval, repeats)
         )
     return records
 
 
+def run_compaction_benchmark(repeats: int = 3) -> CohortCompactionRecord:
+    """Measure cohort compaction on the long-window scenario.
+
+    Runs the same workload/plan with compaction on and off and reports the
+    cohort reduction of the on-run next to both throughputs.
+    """
+    workload, stream, plan = long_window_scenario()
+    total = len(stream)
+
+    on_report, on_best, _ = _timed_run(
+        SharonExecutor(workload, plan=plan, compaction=True), stream, repeats
+    )
+    off_report, off_best, _ = _timed_run(
+        SharonExecutor(workload, plan=plan, compaction=False), stream, repeats
+    )
+    if not on_report.results.matches(off_report.results):
+        raise RuntimeError(
+            "cohort compaction changed the long-window benchmark results; "
+            "refusing to record its throughput"
+        )
+    return CohortCompactionRecord(
+        scenario="long-window",
+        events=total,
+        cohorts_created=on_report.metrics.cohorts_created,
+        cohorts_merged=on_report.metrics.cohorts_merged,
+        cohorts_remaining=on_report.metrics.cohorts_created
+        - on_report.metrics.cohorts_merged,
+        compaction_on_events_per_sec=round(total / on_best if on_best > 0 else float(total), 1),
+        compaction_off_events_per_sec=round(
+            total / off_best if off_best > 0 else float(total), 1
+        ),
+        samples=repeats,
+    )
+
+
 def write_bench_json(
-    records: list[BenchRecord], path: "str | Path" = DEFAULT_BENCH_PATH
+    records: list[BenchRecord],
+    path: "str | Path" = DEFAULT_BENCH_PATH,
+    compaction: "CohortCompactionRecord | None" = None,
 ) -> Path:
     """Write the records as the machine-readable ``BENCH_engine.json``."""
     payload = {
@@ -192,6 +321,8 @@ def write_bench_json(
         "python": platform.python_version(),
         "results": [record.to_json() for record in records],
     }
+    if compaction is not None:
+        payload["cohort_compaction"] = compaction.to_json()
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

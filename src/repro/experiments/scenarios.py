@@ -10,6 +10,7 @@ the ``benchmarks/`` suite (one module per figure) and by the
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 
 from ..core.optimizer import GreedyOptimizer, SharonOptimizer
@@ -46,6 +47,9 @@ class ExecutorRun:
     latency_ms: float
     throughput: float
     memory_bytes: int
+    #: All latency samples when the run came from a best-of-N harness
+    #: (empty for single-shot runs); ``latency_ms`` is then the minimum.
+    latency_samples_ms: tuple[float, ...] = ()
 
     @classmethod
     def from_report(cls, report: ExecutionReport) -> "ExecutorRun":
@@ -55,6 +59,12 @@ class ExecutorRun:
             throughput=report.metrics.throughput_events_per_second,
             memory_bytes=report.metrics.peak_memory_bytes,
         )
+
+    @property
+    def latency_spread(self) -> dict[str, float]:
+        """Min/median over the recorded samples (noise visibility in records)."""
+        samples = self.latency_samples_ms or (self.latency_ms,)
+        return {"min": min(samples), "median": statistics.median(samples)}
 
 
 def lr_scenario(

@@ -146,6 +146,34 @@ class AggregateSpec:
             return state.total / state.target_count
         raise AssertionError(f"unreachable aggregation kind {self.kind!r}")
 
+    def summarise_batch(
+        self, events: Sequence[Event]
+    ) -> tuple[int, int, float, Optional[float], Optional[float]]:
+        """Reduce same-type batch events to ``AggregateState.extend_many`` arguments.
+
+        Returns ``(k, targeted, total_value, minimum, maximum)``.  All events
+        must share one event type (they occupy one pattern position), so the
+        targeting decision is made once for the whole batch.
+        """
+        k = len(events)
+        if self.kind == AggregationKind.COUNT_STAR or not self.targets(events[0]):
+            return k, 0, 0.0, None, None
+        if not self.tracks_attribute:
+            return k, k, 0.0, None, None
+        total = 0.0
+        minimum: Optional[float] = None
+        maximum: Optional[float] = None
+        for event in events:
+            value = self.contribution(event)
+            if value is None:
+                continue
+            total += value
+            if minimum is None or value < minimum:
+                minimum = value
+            if maximum is None or value > maximum:
+                maximum = value
+        return k, k, total, minimum, maximum
+
     def evaluate_sequences(self, sequences: Sequence[Sequence[Event]]):
         """Reference (two-step) evaluation over fully constructed sequences.
 
@@ -243,6 +271,35 @@ class AggregateState:
             total=self.total + value * self.count,
             minimum=_none_min(self.minimum, value),
             maximum=_none_max(self.maximum, value),
+        )
+
+    def extend_many(
+        self,
+        k: int,
+        targeted: int,
+        total_value: float,
+        minimum: "Optional[float]",
+        maximum: "Optional[float]",
+    ) -> "AggregateState":
+        """Merge of ``k`` copies of this state, each extended by one batch event.
+
+        This is the fused form of ``merge(extend(e1), ..., extend(ek))`` used
+        by the vectorised column updates: ``targeted`` is how many of the
+        ``k`` events the spec targets, and ``total_value``/``minimum``/
+        ``maximum`` summarise their tracked attribute values.  Correct because
+        ``extend`` distributes over ``merge`` (the state is a commutative
+        monoid and ``extend`` is linear in it).
+        """
+        if self.count == 0:
+            return _ZERO_STATE
+        if targeted == 0:
+            return self.scale(k)
+        return AggregateState(
+            count=self.count * k,
+            target_count=self.target_count * k + targeted * self.count,
+            total=self.total * k + total_value * self.count,
+            minimum=_none_min(self.minimum, minimum),
+            maximum=_none_max(self.maximum, maximum),
         )
 
     def combine(self, right: "AggregateState") -> "AggregateState":

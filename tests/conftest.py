@@ -88,6 +88,27 @@ def ab_query() -> Query:
     )
 
 
+def random_maximal_plan(workload, seed: int):
+    """A maximal conflict-free sharing plan assembled in seeded random order.
+
+    Shared by the executor property suite and the oracle differential
+    harness, so both always test the same plan-construction semantics.
+    """
+    import random
+
+    from repro.core import ConflictDetector, SharingPlan, build_candidates
+
+    detector = ConflictDetector(workload)
+    candidates = build_candidates(workload)
+    rng = random.Random(seed)
+    rng.shuffle(candidates)
+    chosen = []
+    for candidate in candidates:
+        if all(not detector.in_conflict(candidate, other) for other in chosen):
+            chosen.append(candidate.with_benefit(1.0))
+    return SharingPlan(chosen)
+
+
 def make_events(rows) -> list[Event]:
     """Build events from ``(type, timestamp)`` or ``(type, timestamp, attrs)`` rows."""
     events = []

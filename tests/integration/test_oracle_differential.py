@@ -1,0 +1,268 @@
+"""Differential harness: every executor must match the brute-force oracle.
+
+:func:`repro.datasets.random_scenario` draws randomized scenarios over a grid
+of window/slide/group/predicate/aggregate/pattern combinations; this module
+replays each of them through all four optimised executors — Sharon (shared
+online, cohort compaction on), A-Seq (non-shared online), and the two-step
+baselines (Flink-like, SPASS-like) — and compares every result against the
+deliberately naive :class:`repro.executor.OracleExecutor`.
+
+When a divergence is found the harness *shrinks* it: events and queries are
+removed greedily while the divergence persists, and the failure message
+prints the minimal reproducer so it can be checked into
+:class:`TestRegressionCorpus` (learning from failures: every bug becomes a
+permanent regression case).
+
+The scenario count is controlled by the ``ORACLE_DIFF_SCENARIOS`` environment
+variable (default 240, CI may reduce it); seeds are fixed so every run is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import SharingPlan
+from repro.datasets import describe_scenario, random_scenario
+from repro.events import Event, EventStream, SlidingWindow
+from repro.executor import (
+    ASeqExecutor,
+    FlinkLikeExecutor,
+    OracleExecutor,
+    SharonExecutor,
+    SpassLikeExecutor,
+)
+from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
+
+from ..conftest import random_maximal_plan
+
+#: Total randomized scenarios checked per full run (acceptance: >= 200).
+NUM_SCENARIOS = int(os.environ.get("ORACLE_DIFF_SCENARIOS", "240"))
+
+#: Scenarios are split into parametrized blocks so failures localise.
+NUM_BLOCKS = 8
+
+
+def deterministic_plan(workload: Workload, seed: int) -> SharingPlan:
+    """The harness's plan for a scenario (shared builder, seeded by scenario)."""
+    return random_maximal_plan(workload, seed)
+
+
+def executors_under_test(workload: Workload, seed: int):
+    """The four optimised executors, freshly constructed per evaluation."""
+    plan = deterministic_plan(workload, seed)
+    return (
+        ("A-Seq", ASeqExecutor(workload)),
+        ("Sharon", SharonExecutor(workload, plan=plan)),
+        ("Flink-like", FlinkLikeExecutor(workload)),
+        ("SPASS-like", SpassLikeExecutor(workload)),
+    )
+
+
+def find_divergence(workload: Workload, stream: EventStream, seed: int):
+    """First (executor name, differences) mismatching the oracle, or ``None``."""
+    oracle = OracleExecutor(workload).run(stream).results
+    for name, executor in executors_under_test(workload, seed):
+        results = executor.run(stream).results
+        if not results.matches(oracle):
+            return name, results.differences(oracle)[:5]
+    return None
+
+
+def shrink_divergence(workload: Workload, stream: EventStream, seed: int):
+    """Greedy delta-debugging: drop queries/events while the divergence persists."""
+    queries = list(workload)
+    events = list(stream)
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for index in range(len(queries)):
+            if len(queries) <= 1:
+                break
+            candidate = Workload(queries[:index] + queries[index + 1 :], name=workload.name)
+            if find_divergence(candidate, EventStream(events), seed):
+                queries = list(candidate)
+                shrinking = True
+                break
+        if shrinking:
+            continue
+        for index in range(len(events)):
+            candidate = EventStream(events[:index] + events[index + 1 :], name=stream.name)
+            if find_divergence(Workload(queries, name=workload.name), candidate, seed):
+                events = list(candidate)
+                shrinking = True
+                break
+    return Workload(queries, name=workload.name), EventStream(events, name=stream.name)
+
+
+def check_scenario(seed: int) -> None:
+    workload, stream = random_scenario(seed)
+    divergence = find_divergence(workload, stream, seed)
+    if divergence is None:
+        return
+    minimal_workload, minimal_stream = shrink_divergence(workload, stream, seed)
+    name, differences = find_divergence(minimal_workload, minimal_stream, seed) or divergence
+    pytest.fail(
+        f"scenario seed={seed}: executor {name} diverges from the oracle.\n"
+        f"first differences (key, executor value, oracle value): {differences}\n"
+        f"minimal reproducer:\n{describe_scenario(minimal_workload, minimal_stream)}\n"
+        f"plan seed: {seed} (rebuild with deterministic_plan)"
+    )
+
+
+@pytest.mark.parametrize("block", range(NUM_BLOCKS))
+def test_executors_match_oracle_on_randomized_grid(block):
+    """Sharon, A-Seq, and both two-step baselines equal the oracle everywhere."""
+    per_block = (NUM_SCENARIOS + NUM_BLOCKS - 1) // NUM_BLOCKS
+    for offset in range(per_block):
+        seed = block * per_block + offset
+        if seed >= NUM_SCENARIOS:
+            break
+        check_scenario(seed)
+
+
+def test_compaction_fires_during_differential_runs():
+    """The grid would be toothless if compaction never triggered: force it.
+
+    A long window with a shared two-type prefix keeps every runner's carry at
+    the unit state, so all cohorts are mergeable; the scenario must both
+    compact and agree with the oracle.
+    """
+    window = SlidingWindow(size=30, slide=15)
+    queries = [
+        Query(Pattern(("A", "B", extra)), window, name=f"cq{index}")
+        for index, extra in enumerate(("C", "D"))
+    ]
+    workload = Workload(queries, name="compaction-differential")
+    events = []
+    event_id = 0
+    for timestamp in range(40):
+        for event_type in ("A", "B", "C", "D"):
+            events.append(Event(event_type, timestamp, {}, event_id))
+            event_id += 1
+    stream = EventStream(events, name="compaction-differential")
+
+    plan = deterministic_plan(workload, seed=0)
+    assert any(candidate.pattern == Pattern(("A", "B")) for candidate in plan)
+    report = SharonExecutor(workload, plan=plan).run(stream)
+    oracle = OracleExecutor(workload).run(stream).results
+    assert report.results.matches(oracle), report.results.differences(oracle)[:5]
+    assert report.metrics.cohorts_merged > 0
+    assert report.metrics.cohorts_created > report.metrics.cohorts_merged
+
+
+class TestRegressionCorpus:
+    """Minimal scenarios distilled from harness development.
+
+    Each case is the shrunk form of a scenario family the randomized grid
+    exercises; they run on every test invocation even when the grid is
+    reduced (e.g. in CI), so past divergence shapes stay pinned.
+    """
+
+    def _assert_matches_oracle(self, workload: Workload, stream: EventStream, seed: int = 0):
+        divergence = find_divergence(workload, stream, seed)
+        assert divergence is None, divergence
+
+    def test_same_timestamp_batch_with_shared_prefix(self):
+        window = SlidingWindow(size=8, slide=4)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "B", "C")), window, name="r1"),
+                Query(Pattern(("A", "B", "D")), window, name="r2"),
+            ]
+        )
+        stream = EventStream.from_tuples(
+            [("A", 1), ("A", 1), ("B", 1), ("B", 2), ("C", 3), ("D", 3), ("C", 7)]
+        )
+        self._assert_matches_oracle(workload, stream)
+
+    def test_sliding_window_boundary_match(self):
+        """A match whose START lies in one window and END in the next."""
+        window = SlidingWindow(size=4, slide=2)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "B")), window, name="r3"),
+                Query(Pattern(("B", "A")), window, name="r4"),
+            ]
+        )
+        stream = EventStream.from_tuples([("A", 1), ("B", 3), ("A", 4), ("B", 5)])
+        self._assert_matches_oracle(workload, stream)
+
+    def test_mixed_aggregates_share_one_pattern(self):
+        window = SlidingWindow(size=10, slide=10)
+        queries = [
+            Query(
+                Pattern(("A", "B", "C")),
+                window,
+                aggregate=AggregateSpec.sum("B", "value"),
+                name="r5",
+            ),
+            Query(
+                Pattern(("A", "B", "D")),
+                window,
+                aggregate=AggregateSpec.count_star(),
+                name="r6",
+            ),
+            Query(
+                Pattern(("A", "B")),
+                window,
+                aggregate=AggregateSpec.avg("A", "value"),
+                name="r7",
+            ),
+        ]
+        workload = Workload(queries)
+        stream = EventStream.from_tuples(
+            [
+                ("A", 0, 4), ("B", 1, 7), ("C", 2, 1), ("D", 2, 2),
+                ("A", 3, 9), ("B", 4, 0), ("C", 5, 5), ("B", 9, 3),
+            ],
+            ["value"],
+        )
+        self._assert_matches_oracle(workload, stream)
+
+    def test_equivalence_predicate_with_grouping(self):
+        window = SlidingWindow(size=6, slide=3)
+        predicates = PredicateSet.same("entity")
+        queries = [
+            Query(
+                Pattern(("A", "B")),
+                window,
+                predicates=predicates,
+                group_by=("region",),
+                name="r8",
+            ),
+            Query(
+                Pattern(("B", "C")),
+                window,
+                predicates=predicates,
+                group_by=("region",),
+                name="r9",
+            ),
+        ]
+        workload = Workload(queries)
+        rows = [
+            ("A", 0, {"entity": 0, "region": 1}),
+            ("B", 1, {"entity": 0, "region": 1}),
+            ("B", 1, {"entity": 1, "region": 0}),
+            ("C", 2, {"entity": 1, "region": 0}),
+            ("A", 4, {"entity": 1, "region": 1}),
+            ("B", 5, {"entity": 1, "region": 1}),
+            ("C", 5, {"entity": 0, "region": 0}),
+        ]
+        events = [Event(t, ts, attrs, i) for i, (t, ts, attrs) in enumerate(rows)]
+        self._assert_matches_oracle(workload, EventStream(events))
+
+    def test_repeated_type_pattern(self):
+        window = SlidingWindow(size=10, slide=5)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "A")), window, name="r10"),
+                Query(Pattern(("A", "A", "B")), window, name="r11"),
+            ]
+        )
+        stream = EventStream.from_tuples(
+            [("A", 0), ("A", 1), ("A", 1), ("B", 2), ("A", 3), ("B", 4)]
+        )
+        self._assert_matches_oracle(workload, stream)

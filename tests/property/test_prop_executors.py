@@ -9,15 +9,15 @@ correctness claim: sharing and online aggregation are pure optimizations.
 
 from __future__ import annotations
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ConflictDetector, SharingPlan, build_candidates
+from repro.core import SharingPlan
 from repro.events import Event, EventStream, SlidingWindow
 from repro.executor import ASeqExecutor, FlinkLikeExecutor, SharonExecutor
 from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
+
+from ..conftest import random_maximal_plan
 
 EVENT_TYPES = ["A", "B", "C", "D"]
 
@@ -65,15 +65,7 @@ def streams(draw):
 
 def random_valid_plan(workload: Workload, seed: int) -> SharingPlan:
     """A maximal conflict-free plan assembled in pseudo-random order."""
-    detector = ConflictDetector(workload)
-    candidates = build_candidates(workload)
-    rng = random.Random(seed)
-    rng.shuffle(candidates)
-    chosen = []
-    for candidate in candidates:
-        if all(not detector.in_conflict(candidate, other) for other in chosen):
-            chosen.append(candidate.with_benefit(1.0))
-    return SharingPlan(chosen)
+    return random_maximal_plan(workload, seed)
 
 
 @settings(max_examples=40, deadline=None)
@@ -86,6 +78,59 @@ def test_online_executors_match_brute_force(workload, stream, plan_seed):
 
     assert aseq.matches(oracle), aseq.differences(oracle)[:5]
     assert sharon.matches(oracle), (list(plan), sharon.differences(oracle)[:5])
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_cohort_compaction_is_semantics_preserving(workload, stream, plan_seed):
+    """For any random stream, compaction on and off produce identical results.
+
+    Compaction merges anchor cohorts whose carries coincide in every sharing
+    query — a pure representation change.  The off-run is the uncompacted
+    reference; both must also equal the brute-force oracle.
+    """
+    plan = random_valid_plan(workload, plan_seed)
+    compacted = SharonExecutor(workload, plan=plan, compaction=True).run(stream).results
+    uncompacted = SharonExecutor(workload, plan=plan, compaction=False).run(stream).results
+    assert compacted.matches(uncompacted), (
+        list(plan),
+        compacted.differences(uncompacted)[:5],
+    )
+    oracle = FlinkLikeExecutor(workload).run(stream).results
+    assert compacted.matches(oracle), (list(plan), compacted.differences(oracle)[:5])
+
+
+@settings(max_examples=15, deadline=None)
+@given(streams(), st.integers(min_value=0, max_value=5))
+def test_compaction_shrinks_cohorts_on_shared_prefix_workloads(stream, plan_seed):
+    """Shared-prefix queries keep unit carries, so cohorts must actually merge.
+
+    The random stream is densified with one (A, B) pair per timestamp of the
+    first window instance, guaranteeing enough anchor cohorts in one scope to
+    pass the amortised compaction threshold — merging must then happen, and
+    the results must still equal the non-shared baseline.
+    """
+    window = SlidingWindow(size=12, slide=6)
+    workload = Workload(
+        [
+            Query(Pattern(("A", "B", "C")), window, name="cp0"),
+            Query(Pattern(("A", "B", "D")), window, name="cp1"),
+        ]
+    )
+    plan = random_valid_plan(workload, plan_seed)
+    assert any(candidate.pattern == Pattern(("A", "B")) for candidate in plan)
+    dense = list(stream)
+    next_id = len(dense)
+    for timestamp in range(window.size):
+        dense.append(Event("A", timestamp, {"entity": 0}, next_id))
+        dense.append(Event("B", timestamp, {"entity": 0}, next_id + 1))
+        next_id += 2
+    dense_stream = EventStream(dense)
+    report = SharonExecutor(workload, plan=plan, compaction=True).run(dense_stream)
+    reference = ASeqExecutor(workload).run(dense_stream).results
+    assert report.results.matches(reference), report.results.differences(reference)[:5]
+    assert report.metrics.cohorts_merged > 0
+    assert report.metrics.cohorts_merged <= report.metrics.cohorts_created
 
 
 @settings(max_examples=25, deadline=None)

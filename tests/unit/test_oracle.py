@@ -1,0 +1,162 @@
+"""Unit tests for the brute-force oracle executor itself.
+
+The oracle anchors the differential harness, so its own semantics are pinned
+here against hand-computed values on the paper's running example and on the
+degenerate edge cases (empty windows, single-event patterns, budget).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import Event, EventStream, SlidingWindow, WindowInstance
+from repro.executor import (
+    OracleBudgetExceeded,
+    OracleExecutor,
+    enumerate_sequences_naive,
+)
+from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
+
+from ..conftest import make_events
+
+
+def single_window(size: int = 100) -> SlidingWindow:
+    return SlidingWindow(size=size, slide=size)
+
+
+class TestNaiveEnumeration:
+    def test_enumerates_index_increasing_selections(self):
+        events = make_events([("A", 1), ("B", 2), ("A", 3), ("B", 4)])
+        matches = enumerate_sequences_naive(("A", "B"), events)
+        # (a1,b2), (a1,b4), (a3,b4) plus the same-timestamp-free (a3,b2)?
+        # No: index order forbids picking b2 after a3, so exactly three.
+        assert len(matches) == 3
+
+    def test_budget_exceeded_raises(self):
+        events = make_events([("A", t) for t in range(12)])
+        with pytest.raises(OracleBudgetExceeded):
+            enumerate_sequences_naive(("A", "A"), events, budget=10)
+
+
+class TestPaperRunningExample:
+    def test_figure_7_stream_counts(self):
+        """Example 3: count(A,B,C,D) = 5 on the stream a1 b2 c3 d4 a5 b6 c7 d8."""
+        rows = [("A", 1), ("B", 2), ("C", 3), ("D", 4), ("A", 5), ("B", 6), ("C", 7), ("D", 8)]
+        window = single_window()
+        workload = Workload(
+            [
+                Query(Pattern(("A", "B", "C", "D")), window, name="full"),
+                Query(Pattern(("C", "D")), window, name="shared"),
+                Query(Pattern(("A", "B")), window, name="prefix"),
+            ]
+        )
+        results = OracleExecutor(workload).run(EventStream(make_events(rows))).results
+        instance = WindowInstance(0, 100)
+        assert results.value("full", instance) == 5
+        assert results.value("shared", instance) == 3  # (c3,d4), (c3,d8), (c7,d8)
+        assert results.value("prefix", instance) == 3  # (a1,b2), (a1,b6), (a5,b6)
+
+    def test_same_timestamp_events_never_chain(self):
+        workload = Workload([Query(Pattern(("A", "B")), single_window(), name="q")])
+        results = OracleExecutor(workload).run(
+            EventStream(make_events([("A", 5), ("B", 5)]))
+        ).results
+        assert results.value("q", WindowInstance(0, 100)) == 0
+
+
+class TestEdgeCases:
+    def test_empty_stream_produces_no_results(self):
+        workload = Workload([Query(Pattern(("A", "B")), single_window(), name="q")])
+        report = OracleExecutor(workload).run(EventStream([]))
+        assert len(report.results) == 0
+
+    def test_window_without_relevant_events_emits_nothing(self):
+        """Events exist, but none of the query's types: no result rows at all."""
+        workload = Workload([Query(Pattern(("A", "B")), single_window(), name="q")])
+        report = OracleExecutor(workload).run(EventStream(make_events([("X", 1), ("Y", 2)])))
+        assert len(report.results) == 0
+
+    def test_relevant_events_without_match_emit_zero(self):
+        workload = Workload([Query(Pattern(("A", "B")), single_window(), name="q")])
+        results = OracleExecutor(workload).run(EventStream(make_events([("B", 1), ("A", 2)]))).results
+        assert results.value("q", WindowInstance(0, 100)) == 0
+
+    def test_single_event_pattern(self):
+        workload = Workload([Query(Pattern(("A",)), SlidingWindow(size=4, slide=2), name="q")])
+        results = OracleExecutor(workload).run(
+            EventStream(make_events([("A", 1), ("A", 3), ("B", 3)]))
+        ).results
+        # a1 lies in [0,4); a3 lies in [0,4) and [2,6).
+        assert results.value("q", WindowInstance(0, 4)) == 2
+        assert results.value("q", WindowInstance(2, 6)) == 1
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            OracleExecutor(Workload([]))
+
+    def test_run_budget_guard(self):
+        workload = Workload(
+            [Query(Pattern(("A", "A", "A")), single_window(), name="q")]
+        )
+        stream = EventStream(make_events([("A", t) for t in range(20)]))
+        with pytest.raises(OracleBudgetExceeded):
+            OracleExecutor(workload, max_sequences_per_window=100).run(stream)
+
+
+class TestAggregatesAndPredicates:
+    def test_hand_computed_attribute_aggregates(self):
+        rows = [
+            ("A", 1, {"value": 2}),
+            ("B", 2, {"value": 10}),
+            ("B", 3, {"value": 4}),
+        ]
+        window = single_window()
+        stream = EventStream(make_events(rows))
+        # Matches: (a1,b2), (a1,b3); B values contribute 10 and 4.
+        expectations = {
+            AggregateSpec.count_star(): 2,
+            AggregateSpec.count("B"): 2,
+            AggregateSpec.sum("B", "value"): 14.0,
+            AggregateSpec.min("B", "value"): 4.0,
+            AggregateSpec.max("B", "value"): 10.0,
+            AggregateSpec.avg("B", "value"): 7.0,
+            AggregateSpec.sum("A", "value"): 4.0,  # a1 appears in two matches
+        }
+        for spec, expected in expectations.items():
+            workload = Workload(
+                [Query(Pattern(("A", "B")), window, aggregate=spec, name="q")]
+            )
+            results = OracleExecutor(workload).run(stream).results
+            assert results.value("q", WindowInstance(0, 100)) == expected, spec
+
+    def test_avg_without_matches_is_none(self):
+        workload = Workload(
+            [
+                Query(
+                    Pattern(("A", "B")),
+                    single_window(),
+                    aggregate=AggregateSpec.avg("B", "value"),
+                    name="q",
+                )
+            ]
+        )
+        results = OracleExecutor(workload).run(
+            EventStream(make_events([("A", 1, {"value": 3})]))
+        ).results
+        assert results.value("q", WindowInstance(0, 100), default=None) is None
+
+    def test_equivalence_predicate_partitions_matches(self):
+        predicates = PredicateSet.same("entity")
+        workload = Workload(
+            [Query(Pattern(("A", "B")), single_window(), predicates=predicates, name="q")]
+        )
+        rows = [
+            ("A", 1, {"entity": 1}),
+            ("B", 2, {"entity": 1}),
+            ("A", 3, {"entity": 2}),
+            ("B", 4, {"entity": 1}),
+        ]
+        results = OracleExecutor(workload).run(EventStream(make_events(rows))).results
+        instance = WindowInstance(0, 100)
+        assert results.value("q", instance, group=(1,)) == 2  # (a1,b2), (a1,b4)
+        assert results.value("q", instance, group=(2,)) == 0  # a3 has no same-entity B

@@ -114,3 +114,114 @@ class TestSetPlan:
         bogus = SharingPlan([SharingCandidate(Pattern(["X", "Y"]), ("m1", "m2"), 1.0)])
         with pytest.raises(ValueError, match="does not occur"):
             engine.set_plan(bogus)
+
+
+class TestScopePoolingAcrossMigration:
+    """Pooled scopes must never serve a compiled workload they were not built for,
+    and compacted cohort state must never leak into a reused scope."""
+
+    def _compiled_pair(self):
+        from repro.executor import CompiledWorkload
+        from repro.events.windows import WindowInstance
+
+        workload, _ = small_setup()
+        plan_a = SharingPlan([SharingCandidate(Pattern(["B", "C"]), ("m1", "m2"), 1.0)])
+        plan_b = SharingPlan([SharingCandidate(Pattern(["A", "B"]), ("m1", "m3"), 1.0)])
+        compiled_a = CompiledWorkload(workload, plan_a)
+        compiled_b = CompiledWorkload(workload, plan_b)
+        window = WindowInstance(0, 20)
+        return compiled_a, compiled_b, window
+
+    def test_pool_invalidated_when_compiled_workload_changes(self):
+        from repro.executor import WindowGroupScope
+
+        compiled_a, compiled_b, window = self._compiled_pair()
+        retired = WindowGroupScope(compiled_a, window, ())
+        pool = [retired]
+        fresh = StreamingEngine._acquire_scope(pool, compiled_b, window, ())
+        assert fresh is not retired
+        assert fresh.compiled is compiled_b
+        assert pool == []  # stale scopes dropped, not recycled later
+
+    def test_pool_reuses_scope_for_same_compiled_workload(self):
+        from repro.executor import WindowGroupScope
+        from repro.events.windows import WindowInstance
+
+        compiled_a, _, window = self._compiled_pair()
+        retired = WindowGroupScope(compiled_a, window, ())
+        retired.reset()
+        pool = [retired]
+        other_window = WindowInstance(20, 40)
+        reused = StreamingEngine._acquire_scope(pool, compiled_a, other_window, ("g",))
+        assert reused is retired
+        assert reused.window == other_window
+        assert reused.group == ("g",)
+
+    def test_reset_scope_carries_no_compacted_cohorts(self):
+        """A pooled scope starts from zero cohorts, carries, and compaction stats."""
+        from repro.executor import WindowGroupScope
+
+        # compiled_b shares the (A, B) *prefix* of m1 and m3: every runner's
+        # carry is the unit state, so the explicit compact() below must merge.
+        _, compiled_b, window = self._compiled_pair()
+        scope = WindowGroupScope(compiled_b, window, ())
+        rows = []
+        for base in range(0, 18, 3):
+            rows.extend([("A", base), ("B", base + 1), ("C", base + 2)])
+        events = make_events(rows)
+        index = 0
+        while index < len(events):
+            end = index
+            while end < len(events) and events[end].timestamp == events[index].timestamp:
+                end += 1
+            scope.process_batch(events[index:end])
+            index = end
+        shared_state = next(iter(scope.shared_states.values()))
+        assert shared_state.compact() > 0
+        assert shared_state.cohorts_merged > 0 and shared_state.cohort_count > 0
+        scope.reset()
+        for state in scope.shared_states.values():
+            assert state.cohort_count == 0
+            assert state.cohorts_created == 0
+            assert state.cohorts_merged == 0
+            assert state.total_completed(state.specs[0]).count == 0
+        for chain in scope.chains.values():
+            assert chain.final_state().count == 0
+            for runner in chain.runners:
+                if hasattr(runner, "carries"):
+                    assert runner.carries == []
+
+    def test_migration_with_compaction_preserves_results_under_pooling(self):
+        """Sliding windows force scope reuse; alternating plans force pool
+        invalidation; compaction stays on throughout.  Results must equal the
+        non-shared baseline run."""
+        config = ChainConfig(num_event_types=6, entity_attribute="car")
+        workload = chain_workload(
+            5, 3, config=config, window=SlidingWindow(size=16, slide=4), seed=17,
+            offset_pool_size=2,
+        )
+        stream = chain_stream(
+            duration=120, events_per_second=8, config=config, num_entities=3, seed=18
+        )
+        detector = ConflictDetector(workload)
+        plans = [SharingPlan()]
+        for candidate in build_candidates(workload):
+            candidate = candidate.with_benefit(1.0)
+            if all(
+                not detector.in_conflict(candidate, other) for other in plans[-1].candidates
+            ):
+                plans.append(plans[-1].add(candidate))
+
+        baseline = ASeqExecutor(workload).run(stream)
+        engine = StreamingEngine(workload, plan=plans[-1], name="pooled", compaction=True)
+        state = {"next": 0}
+
+        def on_batch(timestamp, batch):
+            if timestamp % 12 == 11:
+                state["next"] = (state["next"] + 1) % len(plans)
+                engine.set_plan(plans[state["next"]])
+
+        report = engine.run(stream, on_batch=on_batch)
+        assert report.results.matches(baseline.results), report.results.differences(
+            baseline.results
+        )[:5]

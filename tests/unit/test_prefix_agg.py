@@ -141,3 +141,136 @@ class TestSharedSegmentState:
     def test_duplicate_specs_deduplicated(self):
         state = SharedSegmentState(Pattern(["C", "D"]), [COUNT, COUNT])
         assert state.specs == (COUNT,)
+
+    def test_attribute_spec_columns_match_per_event_semantics(self):
+        """The fused (vectorised) column update equals per-event extend/merge."""
+        total = AggregateSpec.sum("D", "price")
+        state = SharedSegmentState(Pattern(["C", "D"]), [total])
+        feed_shared(
+            state,
+            [
+                ("C", 1),
+                ("D", 2, {"price": 4.0}),
+                ("D", 2, {"price": 6.0}),  # same-timestamp batch of two D events
+                ("C", 3),
+                ("D", 4, {"price": 1.0}),
+            ],
+        )
+        # Matches per anchor: c1 -> (c1,d2a), (c1,d2b), (c1,d4); c3 -> (c3,d4).
+        first, second = state.anchors
+        assert first.completed(total).count == 3
+        assert first.completed(total).total == 11.0
+        assert first.completed(total).minimum == 1.0
+        assert first.completed(total).maximum == 6.0
+        assert second.completed(total).total == 1.0
+        assert state.total_completed(total).total == 12.0
+
+
+class TestCohortCompaction:
+    def make_runner(self, state, carry_value=None):
+        from repro.executor import SharedSegmentRunner
+
+        runner = SharedSegmentRunner(state, COUNT)
+        return runner
+
+    def feed_with_runner(self, state, runner, rows, carry=AggregateState.unit):
+        events = make_events(rows)
+        index = 0
+        while index < len(events):
+            end = index
+            while end < len(events) and events[end].timestamp == events[index].timestamp:
+                end += 1
+            batch = events[index:end]
+            state.stage_batch(batch)
+            runner.stage_batch(batch, carry)
+            state.commit()
+            runner.commit()
+            index = end
+
+    def test_compact_merges_identical_carry_cohorts(self):
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT])
+        runner = self.make_runner(state)
+        self.feed_with_runner(
+            state, runner, [("C", 1), ("C", 3), ("D", 4), ("C", 5), ("D", 6)]
+        )
+        assert state.cohort_count == 3
+        total_before = state.total_completed(COUNT)
+        chain_before = runner.chain_value()
+        merged = state.compact()
+        assert merged == 2
+        assert state.cohort_count == 1
+        assert len(runner.carries) == 1
+        assert state.total_completed(COUNT) == total_before
+        assert runner.chain_value() == chain_before
+
+    def test_compaction_preserves_future_extensions(self):
+        """Extending a compacted state must equal extending an uncompacted twin."""
+        rows_before = [("C", 1), ("C", 2), ("C", 3), ("D", 4)]
+        rows_after = [("D", 5), ("C", 6), ("D", 7)]
+
+        def build(compact: bool):
+            state = SharedSegmentState(Pattern(["C", "D"]), [COUNT])
+            runner = self.make_runner(state)
+            self.feed_with_runner(state, runner, rows_before)
+            if compact:
+                assert state.compact() == 2
+            self.feed_with_runner(state, runner, rows_after)
+            return state, runner
+
+        compacted_state, compacted_runner = build(True)
+        plain_state, plain_runner = build(False)
+        assert compacted_state.total_completed(COUNT) == plain_state.total_completed(COUNT)
+        assert compacted_runner.chain_value() == plain_runner.chain_value()
+        assert compacted_state.cohort_count < plain_state.cohort_count
+
+    def test_compact_keeps_cohorts_with_distinct_carries(self):
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT])
+        runner = self.make_runner(state)
+        carries = iter([AggregateState(count=1), AggregateState(count=2)])
+        self.feed_with_runner(
+            state, runner, [("C", 1), ("C", 3)], carry=lambda: next(carries)
+        )
+        assert state.compact() == 0
+        assert state.cohort_count == 2
+
+    def test_compact_mid_batch_rejected(self):
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT])
+        state.stage_batch(make_events([("C", 1)]))
+        with pytest.raises(RuntimeError, match="between batches"):
+            state.compact()
+        state.commit()
+        assert state.compact() == 0  # single cohort: nothing to merge
+
+    def test_compact_without_runners_collapses_everything(self):
+        """Vacuous carry agreement: documented degenerate collapse."""
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT])
+        feed_shared(state, [("C", 1), ("C", 2), ("C", 3), ("D", 4)])
+        assert state.compact() == 2
+        assert state.cohort_count == 1
+        assert state.total_completed(COUNT).count == 3
+
+    def test_maybe_compact_respects_threshold_and_flag(self):
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT], auto_compact=False)
+        runner = self.make_runner(state)
+        rows = [("C", t) for t in range(1, 10)]
+        self.feed_with_runner(state, runner, rows)
+        assert state.maybe_compact() == 0  # auto_compact off
+        state.auto_compact = True
+        assert state.maybe_compact() == 8  # 9 cohorts >= threshold of 8
+        assert state.cohort_count == 1
+        assert state.compactions == 1
+        assert state.cohorts_merged == 8
+
+    def test_reset_clears_compaction_state(self):
+        state = SharedSegmentState(Pattern(["C", "D"]), [COUNT], auto_compact=True)
+        runner = self.make_runner(state)
+        self.feed_with_runner(state, runner, [("C", t) for t in range(1, 10)])
+        state.maybe_compact()
+        state.reset()
+        runner.reset()
+        assert state.cohort_count == 0
+        assert state.cohorts_created == 0
+        assert state.cohorts_merged == 0
+        assert state.compactions == 0
+        assert runner.carries == []
+        assert runner.chain_value().count == 0
