@@ -1,6 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
+## Differential-grid sizes (override to shrink/grow the randomized grids):
+##   ORACLE_DIFF_SCENARIOS - scenarios replayed through every executor
+##   PANE_DIFF_SCENARIOS   - pane-stressed scenarios replayed with panes on/off
+ORACLE_DIFF_SCENARIOS ?= 240
+PANE_DIFF_SCENARIOS ?= 120
+export ORACLE_DIFF_SCENARIOS
+export PANE_DIFF_SCENARIOS
+
 .PHONY: test test-fast bench figures lint
 
 test:

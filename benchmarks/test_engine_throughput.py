@@ -12,6 +12,10 @@ This is the asymptotics safety net of the shared online engine
 2. **Sharing beats non-sharing.**  On the dense Fig. 13 scenario the Sharon
    executor must reach at least A-Seq's throughput — the paper's headline
    claim, and the reason the shared engine exists.
+3. **Panes beat per-instance fan-out.**  On the small-slide scenario
+   (overlap factor 20) the pane-partitioned mode must reach at least 2x the
+   per-instance throughput while producing bit-identical results — the
+   pane refactor's reason to exist.
 
 ``python -m repro bench`` / ``make bench`` runs the same scenarios and
 writes the machine-readable ``BENCH_engine.json`` performance trajectory.
@@ -25,6 +29,7 @@ from repro.experiments import (
     SCALE_FACTORS,
     run_compaction_benchmark,
     run_engine_benchmark,
+    run_pane_benchmark,
     write_bench_json,
 )
 
@@ -41,6 +46,12 @@ MIN_SHARING_ADVANTAGE = 1.0
 #: on the long-window scenario (it is typically well *above* 1: fewer cohorts
 #: mean less column work per event; 0.9 leaves headroom for CI jitter).
 MIN_COMPACTION_THROUGHPUT_RATIO = 0.9
+
+#: Pane partitioning must reach at least this multiple of the panes-off
+#: throughput on the small-slide scenario (overlap factor 20; the pane engine
+#: typically lands ~6-9x, so 2x leaves ample headroom for CI jitter while
+#: still failing any reintroduced per-instance fan-out).
+MIN_PANE_SPEEDUP = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -107,6 +118,38 @@ def test_compaction_does_not_regress_throughput(compaction_record):
     )
 
 
+@pytest.fixture(scope="module")
+def pane_record():
+    return run_pane_benchmark()
+
+
+def test_pane_sharing_speedup(pane_record):
+    """Panes on must beat panes off by ≥2x on the small-slide scenario.
+
+    ``run_pane_benchmark`` already refuses to produce a record when the two
+    modes disagree on any result, so a passing gate certifies both the
+    speedup and zero divergence.
+    """
+    on = pane_record.panes_on_events_per_sec
+    off = pane_record.panes_off_events_per_sec
+    assert on >= off * MIN_PANE_SPEEDUP, (
+        f"pane-partitioned throughput ({on:,.0f} ev/s) below "
+        f"{MIN_PANE_SPEEDUP:.0f}x of per-instance throughput ({off:,.0f} ev/s) "
+        "on the small-slide scenario - the pane layer lost its advantage"
+    )
+
+
+def test_pane_sharing_exercises_panes(pane_record):
+    """The record must prove pane mode actually ran (counters non-trivial)."""
+    assert pane_record.panes_created > 0
+    assert pane_record.events_per_pane > 0
+    # Every pane × group scope is folded once into each covering window it
+    # overlaps, so fold counts must dominate scope counts under overlap
+    # (panes_per_window = 20 here; groups dilute the per-scope fold count,
+    # but a silent per-instance fallback would record zero folds).
+    assert pane_record.pane_merges >= pane_record.panes_created
+
+
 def test_records_expose_sample_spread(bench_records):
     """Best-of-N records must carry the median so noise stays visible."""
     for record in bench_records:
@@ -114,11 +157,14 @@ def test_records_expose_sample_spread(bench_records):
         assert record.elapsed_median_seconds >= record.elapsed_seconds
 
 
-def test_bench_json_schema(bench_records, compaction_record, tmp_path):
+def test_bench_json_schema(bench_records, compaction_record, pane_record, tmp_path):
     import json
 
     target = write_bench_json(
-        bench_records, tmp_path / "BENCH_engine.json", compaction=compaction_record
+        bench_records,
+        tmp_path / "BENCH_engine.json",
+        compaction=compaction_record,
+        pane_sharing=pane_record,
     )
     payload = json.loads(target.read_text(encoding="utf-8"))
     assert payload["benchmark"] == "engine-throughput"
@@ -141,3 +187,16 @@ def test_bench_json_schema(bench_records, compaction_record, tmp_path):
         "compaction_on_events_per_sec",
         "compaction_off_events_per_sec",
     } <= set(section)
+    pane_section = payload["pane_sharing"]
+    assert pane_section["scenario"] == "small-slide"
+    assert pane_section["panes_created"] > 0
+    assert {
+        "window_size",
+        "window_slide",
+        "pane_width",
+        "panes_per_window",
+        "pane_merges",
+        "events_per_pane",
+        "panes_on_events_per_sec",
+        "panes_off_events_per_sec",
+    } <= set(pane_section)

@@ -208,7 +208,12 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments import run_compaction_benchmark, run_engine_benchmark, write_bench_json
+    from .experiments import (
+        run_compaction_benchmark,
+        run_engine_benchmark,
+        run_pane_benchmark,
+        write_bench_json,
+    )
 
     parent = Path(args.output).resolve().parent
     if not parent.is_dir():
@@ -249,7 +254,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Cohort compaction",
         )
     )
-    target = write_bench_json(records, args.output, compaction=compaction)
+    pane_sharing = run_pane_benchmark()
+    print(
+        format_table(
+            ["scenario", "events", "panes", "merges", "ev/pane", "ev/s on", "ev/s off"],
+            [
+                [
+                    pane_sharing.scenario,
+                    pane_sharing.events,
+                    pane_sharing.panes_created,
+                    pane_sharing.pane_merges,
+                    f"{pane_sharing.events_per_pane:.1f}",
+                    f"{pane_sharing.panes_on_events_per_sec:,.0f}",
+                    f"{pane_sharing.panes_off_events_per_sec:,.0f}",
+                ]
+            ],
+            title="Pane sharing",
+        )
+    )
+    target = write_bench_json(records, args.output, compaction=compaction, pane_sharing=pane_sharing)
     print(f"\nWrote {len(records)} records to {target}")
     return 0
 

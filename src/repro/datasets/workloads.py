@@ -41,6 +41,7 @@ __all__ = [
     "ecommerce_workload_scaled",
     "random_scenario",
     "describe_scenario",
+    "PANE_STRESS_WINDOWS",
 ]
 
 
@@ -118,6 +119,23 @@ def purchase_workload(
 #: Event type alphabet of the randomized differential scenarios.
 _SCENARIO_TYPES = ("A", "B", "C", "D")
 
+#: (size, slide) pairs of the pane-stressing regime: small slides (deep
+#: instance overlap), slide-does-not-divide-size shapes (pane width strictly
+#: between 1 and slide), the gcd=1 degenerate (unit-width panes), and one
+#: tumbling pair exercising the pane-ineligible fallback path.
+PANE_STRESS_WINDOWS: tuple[tuple[int, int], ...] = (
+    (12, 2),   # deep overlap, slide divides size
+    (12, 3),
+    (10, 4),   # slide does not divide size: pane width 2
+    (9, 6),    # pane width 3
+    (8, 6),    # pane width 2
+    (7, 3),    # gcd = 1: unit-width panes
+    (7, 2),    # gcd = 1
+    (6, 4),    # pane width 2
+    (12, 8),   # pane width 4
+    (6, 6),    # tumbling: pane-ineligible, engine must fall back
+)
+
 
 def _random_pattern(rng: random.Random) -> Pattern:
     """A short random pattern; occasionally with a repeated event type."""
@@ -152,6 +170,7 @@ def random_scenario(
     max_queries: int = 4,
     max_events: int = 36,
     max_timestamp: int = 22,
+    pane_stress: bool = False,
 ) -> tuple[Workload, EventStream]:
     """One randomized differential-testing scenario: (uniform workload, stream).
 
@@ -162,11 +181,20 @@ def random_scenario(
     multi-spec shared states), pattern shapes including repeated types, and
     a short stream with bursty same-timestamp batches.  Deterministic in
     ``seed`` so every scenario of the differential harness is reproducible.
+
+    With ``pane_stress=True`` the window is drawn from
+    :data:`PANE_STRESS_WINDOWS` instead — shapes chosen to exercise the
+    pane-partitioned engine mode where it is most fragile: deep instance
+    overlap, panes narrower than the slide, unit-width panes (gcd = 1), and
+    the tumbling fallback.
     """
     rng = random.Random(seed)
 
-    size = rng.choice((4, 6, 8, 10, 12))
-    slide = rng.choice(tuple(s for s in (2, 3, 4, 6, size) if s <= size))
+    if pane_stress:
+        size, slide = rng.choice(PANE_STRESS_WINDOWS)
+    else:
+        size = rng.choice((4, 6, 8, 10, 12))
+        slide = rng.choice(tuple(s for s in (2, 3, 4, 6, size) if s <= size))
     window = SlidingWindow(size=size, slide=slide)
 
     group_by = ("region",) if rng.random() < 0.3 else ()

@@ -7,10 +7,19 @@ A complete event sequence belongs to a window instance if *all* of its events
 fall inside the interval; because matched events are time-ordered it suffices
 that the START and END events do (a fact the paper's expiration technique
 relies on, Section 3.2).
+
+Besides per-timestamp instance enumeration this module defines the window's
+**pane geometry** (Li et al.-style panes): the timeline is tiled into
+non-overlapping panes of width ``gcd(size, slide)``, and — because both
+``size`` and ``slide`` are multiples of that width — every window instance is
+an *exact* union of ``size / gcd`` consecutive panes.  The pane-partitioned
+engine mode relies on this tiling to process each event once per pane instead
+of once per covering window instance.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -72,10 +81,25 @@ class SlidingWindow:
     def instances_containing(self, timestamp: int) -> list[WindowInstance]:
         """All window instances whose interval contains ``timestamp``.
 
+        Instances are half-open: a timestamp on a window's *end* boundary
+        belongs to the next instance(s), never the ending one.
+
         Examples
         --------
         >>> SlidingWindow(size=4, slide=1).instances_containing(2)
         [[0,4), [1,5), [2,6)]
+
+        Window-edge semantics (the pane refactor relies on these exactly):
+        ``t = 4`` is excluded from ``[0,4)`` but included in ``[4,8)``, and a
+        timestamp inside the first slide belongs only to the instances
+        starting at non-negative multiples of ``slide``:
+
+        >>> SlidingWindow(size=4, slide=2).instances_containing(4)
+        [[2,6), [4,8)]
+        >>> SlidingWindow(size=4, slide=2).instances_containing(1)
+        [[0,4)]
+        >>> SlidingWindow(size=6, slide=3).instances_containing(3)
+        [[0,6), [3,9)]
         """
         if timestamp < 0:
             raise ValueError("timestamps are non-negative")
@@ -94,7 +118,22 @@ class SlidingWindow:
         return WindowInstance(start, start + self.size)
 
     def instances_between(self, start_time: int, end_time: int) -> Iterator[WindowInstance]:
-        """Yield all window instances overlapping ``[start_time, end_time]``."""
+        """Yield all window instances overlapping ``[start_time, end_time]``.
+
+        Both endpoints are inclusive timestamps: the first instance yielded is
+        the earliest one containing ``start_time`` and the last one starts at
+        the largest non-negative multiple of ``slide`` that is ``<=
+        end_time``.
+
+        Examples
+        --------
+        >>> list(SlidingWindow(size=4, slide=2).instances_between(4, 4))
+        [[2,6), [4,8)]
+        >>> list(SlidingWindow(size=4, slide=2).instances_between(5, 4))
+        []
+        >>> list(SlidingWindow(size=6, slide=2).instances_between(0, 1))
+        [[0,6)]
+        """
         if end_time < start_time:
             return
         first_start = max(0, ((start_time - self.size) // self.slide + 1) * self.slide)
@@ -102,6 +141,82 @@ class SlidingWindow:
         while start <= end_time:
             yield WindowInstance(start, start + self.size)
             start += self.slide
+
+    # -- pane geometry -----------------------------------------------------------
+    @property
+    def pane_width(self) -> int:
+        """Width of the non-overlapping panes tiling the timeline.
+
+        The pane width is ``gcd(size, slide)``, the largest step such that
+        every window-instance boundary (all multiples of ``slide``, plus
+        ``size`` offsets thereof) falls on a pane boundary.  Pane ``p`` covers
+        ``[p * pane_width, (p + 1) * pane_width)``; consecutive panes tile the
+        timeline with no gaps or overlaps.
+
+        >>> SlidingWindow(size=12, slide=4).pane_width
+        4
+        >>> SlidingWindow(size=10, slide=4).pane_width  # slide does not divide size
+        2
+        >>> SlidingWindow(size=7, slide=3).pane_width   # degenerate: unit panes
+        1
+        """
+        return math.gcd(self.size, self.slide)
+
+    @property
+    def panes_per_window(self) -> int:
+        """Number of panes exactly covering one window instance."""
+        return self.size // self.pane_width
+
+    def pane_index_of(self, timestamp: int) -> int:
+        """Index of the pane containing ``timestamp``."""
+        if timestamp < 0:
+            raise ValueError("timestamps are non-negative")
+        return timestamp // self.pane_width
+
+    def pane_span(self, pane_index: int) -> tuple[int, int]:
+        """The half-open interval ``[start, end)`` of pane ``pane_index``."""
+        width = self.pane_width
+        return pane_index * width, (pane_index + 1) * width
+
+    def panes_covering(self, instance: WindowInstance) -> range:
+        """Indexes of the panes whose union is exactly ``instance``.
+
+        Because window boundaries are multiples of the pane width, the panes
+        returned are each fully contained in the instance and together tile
+        it without gaps.
+
+        >>> window = SlidingWindow(size=4, slide=2)
+        >>> list(window.panes_covering(WindowInstance(2, 6)))
+        [1, 2]
+        """
+        width = self.pane_width
+        if instance.start % width or instance.end % width:
+            raise ValueError(
+                f"window {instance!r} is not aligned to the pane width {width}"
+            )
+        return range(instance.start // width, instance.end // width)
+
+    def instances_covering_pane(self, pane_index: int) -> list[WindowInstance]:
+        """All window instances that fully contain pane ``pane_index``.
+
+        The inverse of :meth:`panes_covering`: exactly the instances ``w``
+        with ``pane_index in self.panes_covering(w)``, in ascending order.
+        Every timestamp of the pane belongs to precisely these instances
+        (panes never straddle a window boundary), which is what lets the
+        pane-partitioned engine route a pane's aggregates instead of routing
+        each event to its covering instances.
+        """
+        if pane_index < 0:
+            raise ValueError("pane indexes are non-negative")
+        pane_start, pane_end = self.pane_span(pane_index)
+        # Window starts are multiples of slide with start <= pane_start and
+        # start + size >= pane_end; since size >= pane width, the containment
+        # test collapses to the instance containing the pane's first timestamp.
+        return [
+            instance
+            for instance in self.instances_containing(pane_start)
+            if instance.end >= pane_end
+        ]
 
     def covers_span(self, start_ts: int, end_ts: int) -> list[WindowInstance]:
         """Window instances containing the whole span ``[start_ts, end_ts]``.

@@ -6,6 +6,13 @@ from .chained import QueryChainState, SharedSegmentRunner
 from .engine import CompiledWorkload, ExecutionReport, StreamingEngine, WindowGroupScope
 from .metrics import MetricsCollector, RunMetrics
 from .oracle import OracleBudgetExceeded, OracleExecutor, enumerate_sequences_naive
+from .panes import (
+    CompiledPaneWorkload,
+    PaneCountMatrix,
+    PaneScope,
+    PaneStateMatrix,
+    WindowPaneAccumulator,
+)
 from .prefix_agg import PrivateSegmentState, SharedAnchor, SharedSegmentState
 from .results import QueryResult, ResultSet
 from .sequences import (
@@ -30,6 +37,11 @@ __all__ = [
     "OracleBudgetExceeded",
     "OracleExecutor",
     "enumerate_sequences_naive",
+    "CompiledPaneWorkload",
+    "PaneCountMatrix",
+    "PaneScope",
+    "PaneStateMatrix",
+    "WindowPaneAccumulator",
     "PrivateSegmentState",
     "SharedAnchor",
     "SharedSegmentState",

@@ -34,17 +34,27 @@ class ASeqExecutor:
     memory_sample_interval:
         How often (in finalized windows) to sample peak memory; ``0``
         disables sampling for maximum throughput.
+    panes:
+        Run the engine in pane-partitioned mode (each event processed once
+        per pane instead of once per covering window instance); tumbling
+        windows fall back to the per-instance loop automatically.
     """
 
     name = "A-Seq"
 
-    def __init__(self, workload: Workload, memory_sample_interval: int = 0) -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        memory_sample_interval: int = 0,
+        panes: bool = False,
+    ) -> None:
         self.workload = workload
         self._engine = StreamingEngine(
             workload,
             plan=SharingPlan(),
             name=self.name,
             memory_sample_interval=memory_sample_interval,
+            panes=panes,
         )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

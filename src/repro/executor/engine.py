@@ -49,6 +49,7 @@ from ..queries.query import Query
 from ..queries.workload import Workload
 from .chained import QueryChainState, stage_event_types
 from .metrics import MetricsCollector, RunMetrics
+from .panes import CompiledPaneWorkload, PaneScope, WindowPaneAccumulator
 from .prefix_agg import SharedSegmentState
 from .results import QueryResult, ResultSet
 
@@ -255,6 +256,15 @@ class StreamingEngine:
     already open keep the decomposition they were created with and finish
     under it, so no partial aggregation state is lost; only scopes created
     afterwards follow the new plan.
+
+    With ``panes=True`` the engine runs in **pane-partitioned** mode
+    (:mod:`repro.executor.panes`) when the workload is eligible
+    (:meth:`panes_eligible`): the stream is processed once per pane of width
+    ``gcd(size, slide)`` and completed window instances are assembled by
+    folding their covering panes, instead of fanning each event out to every
+    covering window instance.  Ineligible workloads (tumbling windows, where
+    per-instance processing already touches each event once) silently fall
+    back to the per-instance loop, so the toggle is always safe to set.
     """
 
     def __init__(
@@ -264,16 +274,36 @@ class StreamingEngine:
         name: str = "sharon",
         memory_sample_interval: int = 0,
         compaction: bool = True,
+        panes: bool = False,
     ) -> None:
         self.workload = workload
         self.compaction = compaction
         self.compiled = CompiledWorkload(workload, plan, compaction=compaction)
         self.name = name
         self.memory_sample_interval = memory_sample_interval
+        self.panes = panes
 
     def set_plan(self, plan: SharingPlan) -> None:
         """Switch to ``plan`` for scopes created from now on (plan migration)."""
         self.compiled = CompiledWorkload(self.workload, plan, compaction=self.compaction)
+
+    @staticmethod
+    def panes_eligible(window: SlidingWindow) -> bool:
+        """Whether pane partitioning can pay off for ``window``.
+
+        Tumbling windows (``max_overlap == 1``) already process every event
+        exactly once per instance; a pane layer would only add matrix
+        overhead, so the engine falls back to the per-instance loop.  Every
+        overlapping window is eligible — ``gcd(size, slide) == 1`` degrades
+        to unit-width panes (one per timestamp), which is correct but
+        amortises the per-pane work over fewer events.
+        """
+        return window.max_overlap > 1
+
+    @property
+    def uses_panes(self) -> bool:
+        """Whether :meth:`run` will take the pane-partitioned path."""
+        return self.panes and self.panes_eligible(self.compiled.window)
 
     def run(
         self,
@@ -297,6 +327,8 @@ class StreamingEngine:
             migration.  Time spent in the callback is excluded from the
             executor metrics.
         """
+        if self.uses_panes:
+            return self._run_panes(stream, on_batch)
         collector = MetricsCollector(
             executor_name=self.name, memory_sample_interval=self.memory_sample_interval
         )
@@ -339,6 +371,115 @@ class StreamingEngine:
         self._finalize_expired(scopes, None, results, collector, pool)
         metrics = collector.finish()
         return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
+
+    # -- pane-partitioned mode ----------------------------------------------------
+    def _run_panes(self, stream, on_batch) -> ExecutionReport:
+        """Pane-partitioned run loop: each event is processed into one pane.
+
+        Exactly one pane is ever open (streams are timestamp-ordered); when
+        the stream time leaves it, its matrices are folded into the prefix
+        vectors of every covering window instance and dropped.  Windows
+        finalize when the stream time passes their end, which — window
+        boundaries being pane-aligned — is always after their last covering
+        pane closed.  Sharing plans do not apply in this mode: work is shared
+        across overlapping window instances (and across queries with equal
+        (pattern, aggregate) pairs) structurally.
+        """
+        compiled = self.compiled
+        pane_compiled = CompiledPaneWorkload(self.workload)
+        pane_width = compiled.window.pane_width
+        collector = MetricsCollector(
+            executor_name=self.name, memory_sample_interval=self.memory_sample_interval
+        )
+        results = ResultSet()
+        #: The single open pane: index plus one scope per group seen in it.
+        open_pane_index: "int | None" = None
+        open_pane_scopes: dict[tuple, PaneScope] = {}
+        #: Pane-fed prefix vectors: window instance -> group -> accumulator.
+        accumulators: dict[WindowInstance, dict[tuple, WindowPaneAccumulator]] = {}
+
+        collector.start()
+        for timestamp, batch in timestamp_batches(stream):
+            pane_index = timestamp // pane_width
+            if open_pane_index is not None and pane_index != open_pane_index:
+                self._close_pane(open_pane_index, open_pane_scopes, accumulators, collector)
+                open_pane_scopes = {}
+                open_pane_index = None
+            self._finalize_panes_expired(accumulators, timestamp, results, collector)
+
+            routed: dict[tuple, list[Event]] = {}
+            for event in batch:
+                relevant = compiled.is_relevant(event)
+                collector.count_event(relevant)
+                if relevant:
+                    routed.setdefault(compiled.group_key(event), []).append(event)
+            if routed:
+                open_pane_index = pane_index
+                for group, scope_events in routed.items():
+                    scope = open_pane_scopes.get(group)
+                    if scope is None:
+                        scope = PaneScope(pane_compiled, pane_index, group)
+                        open_pane_scopes[group] = scope
+                        collector.panes_created += 1
+                    scope.process_batch(scope_events)
+
+            if on_batch is not None:
+                collector.stop()
+                on_batch(timestamp, batch)
+                collector.start()
+
+        if open_pane_index is not None:
+            self._close_pane(open_pane_index, open_pane_scopes, accumulators, collector)
+        self._finalize_panes_expired(accumulators, None, results, collector)
+        metrics = collector.finish()
+        return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
+
+    def _close_pane(
+        self,
+        pane_index: int,
+        scopes_by_group: dict[tuple, PaneScope],
+        accumulators: dict[WindowInstance, dict[tuple, WindowPaneAccumulator]],
+        collector: MetricsCollector,
+    ) -> None:
+        """Fold a closed pane into the accumulators of its covering windows."""
+        window_spec = self.compiled.window
+        pane_compiled = next(iter(scopes_by_group.values())).compiled
+        for window in window_spec.instances_covering_pane(pane_index):
+            group_accumulators = accumulators.setdefault(window, {})
+            for group, scope in scopes_by_group.items():
+                accumulator = group_accumulators.get(group)
+                if accumulator is None:
+                    accumulator = WindowPaneAccumulator(pane_compiled)
+                    group_accumulators[group] = accumulator
+                collector.pane_merges += accumulator.absorb(scope)
+        for scope in scopes_by_group.values():
+            collector.state_updates += scope.update_count
+
+    def _finalize_panes_expired(
+        self,
+        accumulators: dict[WindowInstance, dict[tuple, WindowPaneAccumulator]],
+        current_timestamp: "int | None",
+        results: ResultSet,
+        collector: MetricsCollector,
+    ) -> None:
+        """Emit results for every window that ended before ``current_timestamp``."""
+        expired = [
+            window
+            for window in accumulators
+            if current_timestamp is None or window.end <= current_timestamp
+        ]
+        if not expired:
+            return
+        collector.maybe_sample_memory(accumulators)
+        queries = self.compiled.workload
+        for window in sorted(expired):
+            for group, accumulator in accumulators[window].items():
+                for query in queries:
+                    results.add(
+                        QueryResult(query.name, window, group, accumulator.final_value(query.name))
+                    )
+                collector.count_window(len(queries))
+            del accumulators[window]
 
     # -- internal helpers --------------------------------------------------------
     @staticmethod

@@ -40,6 +40,17 @@ class RunMetrics:
     #: Anchor cohorts created / removed by compaction (shared online engine only).
     cohorts_created: int = 0
     cohorts_merged: int = 0
+    #: Pane × group scopes created / pane-into-window matrix folds performed
+    #: (pane-partitioned engine mode only; zero in per-instance mode).
+    panes_created: int = 0
+    pane_merges: int = 0
+
+    @property
+    def events_per_pane(self) -> float:
+        """Average relevant events absorbed per pane × group scope."""
+        if self.panes_created <= 0:
+            return 0.0
+        return self.relevant_events / self.panes_created
 
     @property
     def throughput_events_per_second(self) -> float:
@@ -83,6 +94,8 @@ class MetricsCollector:
     state_updates: int = 0
     cohorts_created: int = 0
     cohorts_merged: int = 0
+    panes_created: int = 0
+    pane_merges: int = 0
     _memory: PeakMemoryTracker = field(default_factory=PeakMemoryTracker)
     _started_at: float | None = None
     _elapsed: float = 0.0
@@ -139,4 +152,6 @@ class MetricsCollector:
             state_updates=self.state_updates,
             cohorts_created=self.cohorts_created,
             cohorts_merged=self.cohorts_merged,
+            panes_created=self.panes_created,
+            pane_merges=self.pane_merges,
         )

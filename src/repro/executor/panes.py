@@ -1,0 +1,328 @@
+"""Pane-partitioned stream processing: one pass per event, per pane.
+
+The per-instance engine loop fans every event out to all window instances
+containing its timestamp (``instances_containing``), so a sliding window with
+``size / slide = k`` re-processes each event ``k`` times.  This module
+removes that redundancy with the classic pane decomposition (Li et al.):
+
+* The timeline is tiled into non-overlapping **panes** of width
+  ``gcd(size, slide)`` (:attr:`~repro.events.windows.SlidingWindow.pane_width`).
+  Both ``size`` and ``slide`` are multiples of that width, so every window
+  instance is an *exact* union of ``size / gcd`` consecutive panes.
+* Per (pane × group), each distinct (pattern, aggregate spec) of the workload
+  keeps one **pane transition matrix** ``T`` — for every pair of pattern
+  positions ``i <= j``, ``T[i][j+1]`` aggregates the matches of the
+  sub-pattern ``positions i..j`` that lie entirely inside the pane.  A batch
+  updates the matrix once, whichever window instances cover the pane.
+* When the stream time leaves a pane, the pane is **folded** into every
+  covering window instance: a per-window prefix vector ``v`` (``v[j]`` =
+  aggregate over matches of positions ``0..j-1`` completed so far) absorbs
+  the matrix, ``v' = v ⊙ T`` in the (⊕ = ``merge``, ⊗ = ``combine``)
+  semiring.  The window's result is ``v[l]`` after its last pane.
+
+Correctness rests on the same algebra that justified cohort compaction
+(``combine`` is associative and distributes over ``merge``, see
+``docs/engine.md``) plus two ordering facts:
+
+* **Across panes** — pane boundaries strictly separate timestamps, so a
+  prefix match ending in pane ``p`` always precedes a sub-match starting in
+  pane ``p' > p``; the fold never pairs events out of order.
+* **Within a pane** — matrices commit a batch column-at-a-time in descending
+  position order (the stage/commit trick of
+  :mod:`repro.executor.prefix_agg`), so events sharing a timestamp never
+  chain with each other.
+
+COUNT(*) matrices (:class:`PaneCountMatrix`) degenerate to triangular integer
+arrays — the paper's common case stays allocation-free on the hot path.  All
+other specs use :class:`PaneStateMatrix` with fused
+:meth:`~repro.queries.aggregates.AggregateState.extend_many` column updates.
+
+The per-event cost is ``O(l^2)`` matrix cells (instead of ``O(k · l)``
+positions across covering instances) and each pane is folded once per
+covering window, ``O(windows · panes_per_window · l^2)`` overall — linear in
+the stream for fixed window geometry.  The win grows with the overlap factor
+``k``; :class:`~repro.executor.engine.StreamingEngine` therefore only routes
+to this mode when ``k > 1`` (see ``StreamingEngine.panes_eligible``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..events.event import Event
+from ..queries.aggregates import AggregateSpec, AggregateState, AggregationKind
+from ..queries.pattern import Pattern
+from ..queries.workload import Workload
+from .prefix_agg import group_by_position, positions_by_type
+
+__all__ = [
+    "PaneCountMatrix",
+    "PaneStateMatrix",
+    "PaneScope",
+    "WindowPaneAccumulator",
+    "CompiledPaneWorkload",
+    "make_pane_matrix",
+]
+
+_ZERO = AggregateState.zero()
+_UNIT = AggregateState.unit()
+
+#: Key identifying one pane matrix: (pattern event types, aggregate spec).
+MatrixKey = tuple[tuple[str, ...], AggregateSpec]
+
+
+class PaneCountMatrix:
+    """COUNT(*) pane transition matrix: triangular flat integer columns.
+
+    ``cells[j][i]`` (``i <= j``) is the number of matches of pattern
+    positions ``i..j`` wholly inside the pane.  A COUNT(*) aggregate state is
+    determined by its sequence count, so cells are plain ``int``s and both the
+    batch update and the window fold are integer arithmetic.
+    """
+
+    __slots__ = ("length", "cells", "updates")
+
+    def __init__(self, pattern: Pattern, spec: AggregateSpec) -> None:
+        self.length = len(pattern)
+        #: cells[j] has j+1 entries: cells[j][i] = T[i][j+1] for i <= j.
+        self.cells: list[list[int]] = [[0] * (j + 1) for j in range(self.length)]
+        self.updates = 0
+
+    def apply_batch(self, by_position: dict[int, list[Event]], spec: AggregateSpec) -> None:
+        """Commit one same-timestamp batch, descending position order.
+
+        Position ``j`` reads the pre-batch values of column ``j - 1``, so
+        events of the batch never chain with each other.
+        """
+        cells = self.cells
+        for position in sorted(by_position, reverse=True):
+            k = len(by_position[position])
+            column = cells[position]
+            if position:
+                base = cells[position - 1]
+                for i in range(position):
+                    if base[i]:
+                        column[i] += k * base[i]
+                        self.updates += k
+            # A batch event also starts a fresh sub-match at its own position.
+            column[position] += k
+            self.updates += k
+
+    def new_vector(self) -> list[int]:
+        """The unit prefix vector: one empty sequence, nothing matched yet."""
+        vector = [0] * (self.length + 1)
+        vector[0] = 1
+        return vector
+
+    def fold(self, vector: list[int]) -> None:
+        """In-place ``v <- v ⊙ T``: absorb this pane into a window's vector.
+
+        Descending target positions keep all reads on pre-fold values (the
+        matrix diagonal is the implicit identity, hence the ``vector[j]``
+        passthrough term).
+        """
+        cells = self.cells
+        for j in range(self.length, 0, -1):
+            column = cells[j - 1]
+            acc = 0
+            for i in range(j):
+                if vector[i] and column[i]:
+                    acc += vector[i] * column[i]
+            if acc:
+                vector[j] += acc
+
+    def final_state(self, vector: list[int]) -> AggregateState:
+        count = vector[self.length]
+        return AggregateState(count=count) if count else _ZERO
+
+
+class PaneStateMatrix:
+    """General pane transition matrix over :class:`AggregateState` cells.
+
+    Used for COUNT(E)/SUM/MIN/MAX/AVG; batch updates are one fused
+    ``extend_many`` per touched cell (the batch is reduced once per position
+    via ``summarise_batch``), the fold is ``merge``/``combine`` algebra.
+    """
+
+    __slots__ = ("length", "cells", "updates")
+
+    def __init__(self, pattern: Pattern, spec: AggregateSpec) -> None:
+        self.length = len(pattern)
+        self.cells: list[list[AggregateState]] = [
+            [_ZERO] * (j + 1) for j in range(self.length)
+        ]
+        self.updates = 0
+
+    def apply_batch(self, by_position: dict[int, list[Event]], spec: AggregateSpec) -> None:
+        cells = self.cells
+        for position in sorted(by_position, reverse=True):
+            bucket = by_position[position]
+            summary = spec.summarise_batch(bucket)
+            k = summary[0]
+            column = cells[position]
+            if position:
+                base = cells[position - 1]
+                for i in range(position):
+                    base_state = base[i]
+                    if base_state.count:
+                        column[i] = column[i].merge(base_state.extend_many(*summary))
+                        self.updates += k
+            column[position] = column[position].merge(_UNIT.extend_many(*summary))
+            self.updates += k
+
+    def new_vector(self) -> list[AggregateState]:
+        return [_UNIT] + [_ZERO] * self.length
+
+    def fold(self, vector: list[AggregateState]) -> None:
+        cells = self.cells
+        for j in range(self.length, 0, -1):
+            column = cells[j - 1]
+            acc = _ZERO
+            for i in range(j):
+                left = vector[i]
+                if left.count and column[i].count:
+                    acc = acc.merge(left.combine(column[i]))
+            if acc.count:
+                vector[j] = vector[j].merge(acc)
+
+    def final_state(self, vector: list[AggregateState]) -> AggregateState:
+        return vector[self.length]
+
+
+def make_pane_matrix(pattern: Pattern, spec: AggregateSpec) -> "PaneCountMatrix | PaneStateMatrix":
+    """Pick the cheapest matrix representation for ``spec``."""
+    if spec.kind == AggregationKind.COUNT_STAR:
+        return PaneCountMatrix(pattern, spec)
+    return PaneStateMatrix(pattern, spec)
+
+
+class CompiledPaneWorkload:
+    """Pane-mode execution structure of a uniform workload.
+
+    Deduplicates per-query state by (pattern, spec): queries returning the
+    same aggregate over the same pattern share one matrix per (pane × group)
+    and one vector per (window × group).  Also builds the type-indexed
+    dispatch (event type → distinct patterns containing it, each with the
+    matrix keys of its specs) mirroring the per-instance engine's dispatch
+    tables; batches are bucketed once per pattern, not once per spec.
+
+    The sharing *plan* is irrelevant here: pane mode shares work across
+    overlapping window instances structurally, and segment decompositions
+    never change which matches a query's full pattern has.
+    """
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self.window = workload[0].window
+        #: query name -> its matrix key.
+        self.key_by_query: dict[str, MatrixKey] = {}
+        #: matrix key -> (pattern, spec, positions-by-type).
+        self.matrix_infos: dict[MatrixKey, tuple[Pattern, AggregateSpec, dict]] = {}
+        #: pattern event types -> positions-by-type (shared across specs).
+        positions_by_pattern: dict[tuple[str, ...], dict] = {}
+        keys_by_pattern: dict[tuple[str, ...], list[MatrixKey]] = {}
+        for query in workload:
+            types = query.pattern.event_types
+            key: MatrixKey = (types, query.aggregate)
+            self.key_by_query[query.name] = key
+            if key in self.matrix_infos:
+                continue
+            positions = positions_by_pattern.get(types)
+            if positions is None:
+                positions = positions_by_type(query.pattern)
+                positions_by_pattern[types] = positions
+            self.matrix_infos[key] = (query.pattern, query.aggregate, positions)
+            keys_by_pattern.setdefault(types, []).append(key)
+        index: dict[str, list[tuple[dict, tuple[MatrixKey, ...]]]] = {}
+        for types, keys in keys_by_pattern.items():
+            entry = (positions_by_pattern[types], tuple(keys))
+            for event_type in set(types):
+                index.setdefault(event_type, []).append(entry)
+        #: Dispatch index: event type -> (positions, matrix keys) per distinct
+        #: pattern containing it, so a batch is bucketed once per pattern and
+        #: applied to every spec's matrix of that pattern.
+        self.patterns_by_type: dict[str, tuple[tuple[dict, tuple[MatrixKey, ...]], ...]] = {
+            event_type: tuple(entries) for event_type, entries in index.items()
+        }
+
+
+class PaneScope:
+    """Transition matrices of one pane × group combination."""
+
+    __slots__ = ("compiled", "pane_index", "group", "matrices")
+
+    def __init__(self, compiled: CompiledPaneWorkload, pane_index: int, group: tuple) -> None:
+        self.compiled = compiled
+        self.pane_index = pane_index
+        self.group = group
+        #: Lazily created matrices; an absent key is the identity matrix.
+        self.matrices: dict[MatrixKey, PaneCountMatrix | PaneStateMatrix] = {}
+
+    def process_batch(self, events: list[Event]) -> None:
+        """Route one same-timestamp batch to the matrices its types touch.
+
+        The batch is bucketed by pattern position once per *distinct pattern*
+        (not per matrix), then applied to every aggregate spec's matrix of
+        that pattern.
+        """
+        compiled = self.compiled
+        batch_types = {event.event_type for event in events}
+        seen: set[tuple[MatrixKey, ...]] = set()
+        for event_type in batch_types:
+            for positions, keys in compiled.patterns_by_type.get(event_type, ()):
+                if keys in seen:
+                    continue
+                seen.add(keys)
+                by_position = group_by_position(events, positions)
+                if by_position is None:
+                    continue
+                for key in keys:
+                    pattern, spec, _positions = compiled.matrix_infos[key]
+                    matrix = self.matrices.get(key)
+                    if matrix is None:
+                        matrix = make_pane_matrix(pattern, spec)
+                        self.matrices[key] = matrix
+                    matrix.apply_batch(by_position, spec)
+
+    @property
+    def update_count(self) -> int:
+        return sum(matrix.updates for matrix in self.matrices.values())
+
+
+class WindowPaneAccumulator:
+    """Prefix vectors of one window instance × group, fed pane by pane."""
+
+    __slots__ = ("compiled", "vectors")
+
+    def __init__(self, compiled: CompiledPaneWorkload) -> None:
+        self.compiled = compiled
+        #: matrix key -> prefix vector; absent until the first non-identity pane.
+        self.vectors: dict[MatrixKey, list] = {}
+
+    def absorb(self, scope: PaneScope) -> int:
+        """Fold one closed pane's matrices into the vectors; returns fold count."""
+        folds = 0
+        vectors = self.vectors
+        for key, matrix in scope.matrices.items():
+            vector = vectors.get(key)
+            if vector is None:
+                vector = matrix.new_vector()
+                vectors[key] = vector
+            matrix.fold(vector)
+            folds += 1
+        return folds
+
+    def final_value(self, query_name: str):
+        """The query's RETURN value for this window × group."""
+        compiled = self.compiled
+        key = compiled.key_by_query[query_name]
+        _pattern, spec, _positions = compiled.matrix_infos[key]
+        vector = self.vectors.get(key)
+        if vector is None:
+            return spec.finalize(_ZERO)
+        # The vector's last entry aggregates the full-pattern matches; count
+        # vectors store plain ints and are lifted here, once per result.
+        last = vector[-1]
+        if isinstance(last, int):
+            return spec.finalize(AggregateState(count=last) if last else _ZERO)
+        return spec.finalize(last)

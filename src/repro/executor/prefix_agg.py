@@ -67,7 +67,13 @@ from ..events.event import Event
 from ..queries.aggregates import AggregateSpec, AggregateState, AggregationKind
 from ..queries.pattern import Pattern
 
-__all__ = ["PrivateSegmentState", "SharedSegmentState", "SharedAnchor", "positions_by_type"]
+__all__ = [
+    "PrivateSegmentState",
+    "SharedSegmentState",
+    "SharedAnchor",
+    "positions_by_type",
+    "group_by_position",
+]
 
 #: A carry provider returns the aggregate of the chain upstream of a segment,
 #: as of the beginning of the current batch.
@@ -94,10 +100,16 @@ def positions_by_type(pattern: Pattern) -> dict[str, tuple[int, ...]]:
     return {event_type: tuple(indexes) for event_type, indexes in positions.items()}
 
 
-def _group_by_position(
+def group_by_position(
     events: Sequence[Event], positions: dict[str, tuple[int, ...]]
 ) -> "dict[int, list[Event]] | None":
-    """Bucket a batch's events by the pattern positions their type occupies."""
+    """Bucket a batch's events by the pattern positions their type occupies.
+
+    Shared by every batch-oriented state in this package (private segments,
+    anchored shared segments, and the pane transition matrices in
+    :mod:`repro.executor.panes`): one pass over the batch, ``None`` when no
+    event touches the pattern.
+    """
     by_position: dict[int, list[Event]] | None = None
     for event in events:
         for position in positions.get(event.event_type, ()):
@@ -129,7 +141,7 @@ class PrivateSegmentState:
         applied with one fused ``extend_many`` instead of per-event
         ``extend``/``merge`` pairs.
         """
-        by_position = _group_by_position(events, self._positions)
+        by_position = group_by_position(events, self._positions)
         if by_position is None:
             self._staged = None
             return
@@ -435,7 +447,7 @@ class SharedSegmentState:
     # -- batch processing --------------------------------------------------------
     def stage_batch(self, events: Sequence[Event]) -> None:
         """Stage anchor creations and extensions for one same-timestamp batch."""
-        by_position = _group_by_position(events, self._positions)
+        by_position = group_by_position(events, self._positions)
         if by_position is None:
             self.staged_new_anchors = []
             self._staged = None

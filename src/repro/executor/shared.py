@@ -45,6 +45,12 @@ class SharonExecutor:
         Whether shared states merge anchor cohorts whose carries have become
         identical for every sharing query (on by default; disabling it is
         only useful for differential testing and benchmarking).
+    panes:
+        Run the engine in pane-partitioned mode (process each event once per
+        pane of width ``gcd(size, slide)`` instead of once per covering
+        window instance; see :mod:`repro.executor.panes`).  Off by default;
+        ineligible workloads (tumbling windows) fall back to the
+        per-instance loop automatically.
     """
 
     name = "Sharon"
@@ -56,6 +62,7 @@ class SharonExecutor:
         rates: "RateCatalog | BenefitModel | None" = None,
         memory_sample_interval: int = 0,
         compaction: bool = True,
+        panes: bool = False,
     ) -> None:
         if plan is None:
             if rates is None:
@@ -69,6 +76,7 @@ class SharonExecutor:
             name=self.name,
             memory_sample_interval=memory_sample_interval,
             compaction=compaction,
+            panes=panes,
         )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

@@ -13,10 +13,15 @@ future sessions can diff:
 * **Dense sharing** — the Fig. 13 regime: a dense multi-query workload where
   the shared online method (Sharon) must beat the non-shared online baseline
   (A-Seq).
+* **Cohort compaction** — the long-window regime where all anchor cohorts
+  collapse; recorded as the ``cohort_compaction`` section.
+* **Pane sharing** — the small-slide regime (overlap factor 20) where the
+  pane-partitioned engine mode must beat per-instance fan-out; recorded as
+  the ``pane_sharing`` section.
 
 Run it with ``python -m repro bench`` (or ``make bench``), or through pytest
-via ``benchmarks/test_engine_throughput.py`` which asserts the scaling and
-sharing properties on the same records.
+via ``benchmarks/test_engine_throughput.py`` which asserts the scaling,
+sharing, compaction, and pane properties on the same records.
 """
 
 from __future__ import annotations
@@ -44,12 +49,15 @@ from ..utils.rates import RateCatalog
 __all__ = [
     "BenchRecord",
     "CohortCompactionRecord",
+    "PaneSharingRecord",
     "SCALE_FACTORS",
     "scaling_scenario",
     "dense_sharing_scenario",
     "long_window_scenario",
+    "small_slide_scenario",
     "run_engine_benchmark",
     "run_compaction_benchmark",
+    "run_pane_benchmark",
     "write_bench_json",
 ]
 
@@ -101,6 +109,34 @@ class CohortCompactionRecord:
     cohorts_remaining: int
     compaction_on_events_per_sec: float
     compaction_off_events_per_sec: float
+    samples: int = 1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class PaneSharingRecord:
+    """The pane-sharing section of ``BENCH_engine.json``.
+
+    Captures, on the small-slide scenario (deep window-instance overlap,
+    where per-instance processing re-touches every event ``size / slide``
+    times), the engine throughput with pane partitioning on vs off plus the
+    pane-mode work counters — the machine-checked statement that processing
+    each event once per pane beats processing it once per covering window.
+    """
+
+    scenario: str
+    events: int
+    window_size: int
+    window_slide: int
+    pane_width: int
+    panes_per_window: int
+    panes_created: int
+    pane_merges: int
+    events_per_pane: float
+    panes_on_events_per_sec: float
+    panes_off_events_per_sec: float
     samples: int = 1
 
     def to_json(self) -> dict:
@@ -202,6 +238,44 @@ def long_window_scenario(
             events.append(Event(event_type, timestamp, {}, event_id))
             event_id += 1
     return workload, EventStream(events, name="long-window"), plan
+
+
+def small_slide_scenario(
+    num_queries: int = 6,
+    pattern_length: int = 4,
+    num_types: int = 8,
+    num_entities: int = 30,
+    events_per_second: float = 40.0,
+    duration: int = 120,
+    window: SlidingWindow | None = None,
+    seed: int = 53,
+) -> tuple[Workload, EventStream]:
+    """Deep window-instance overlap: the pane-sharing regime.
+
+    A window of size 40 sliding by 2 covers every timestamp with 20
+    instances, so the per-instance engine processes each event 20 times;
+    pane partitioning (pane width ``gcd(40, 2) = 2``) processes it once and
+    folds each closed pane into the covering instances.
+    """
+    config = ChainConfig(num_event_types=num_types)
+    window = window if window is not None else SlidingWindow(size=40, slide=2)
+    workload = chain_workload(
+        num_queries,
+        pattern_length,
+        config=config,
+        window=window,
+        seed=seed,
+        offset_pool_size=2,
+    )
+    stream = chain_stream(
+        duration=duration,
+        events_per_second=events_per_second,
+        config=config,
+        num_entities=num_entities,
+        seed=seed + 1,
+        name="small-slide",
+    )
+    return workload, stream
 
 
 def _timed_run(executor, stream: EventStream, repeats: int):
@@ -310,10 +384,52 @@ def run_compaction_benchmark(repeats: int = 3) -> CohortCompactionRecord:
     )
 
 
+def run_pane_benchmark(repeats: int = 3) -> PaneSharingRecord:
+    """Measure pane partitioning on the small-slide scenario.
+
+    Runs the same workload/plan with panes on and off, refuses to record a
+    throughput if the two runs disagree on any result, and reports the pane
+    work counters of the on-run next to both throughputs.
+    """
+    workload, stream = small_slide_scenario()
+    window = workload[0].window
+    total = len(stream)
+    rates = RateCatalog.from_stream(stream, per="window", window_size=window.size)
+    plan = SharonExecutor(workload, rates=rates).plan
+
+    on_executor = SharonExecutor(workload, plan=plan, panes=True)
+    if not on_executor._engine.uses_panes:  # pragma: no cover - scenario invariant
+        raise RuntimeError("the small-slide scenario must run in pane mode")
+    on_report, on_best, _ = _timed_run(on_executor, stream, repeats)
+    off_report, off_best, _ = _timed_run(
+        SharonExecutor(workload, plan=plan, panes=False), stream, repeats
+    )
+    if not on_report.results.matches(off_report.results):
+        raise RuntimeError(
+            "pane partitioning changed the small-slide benchmark results; "
+            "refusing to record its throughput"
+        )
+    return PaneSharingRecord(
+        scenario="small-slide",
+        events=total,
+        window_size=window.size,
+        window_slide=window.slide,
+        pane_width=window.pane_width,
+        panes_per_window=window.panes_per_window,
+        panes_created=on_report.metrics.panes_created,
+        pane_merges=on_report.metrics.pane_merges,
+        events_per_pane=round(on_report.metrics.events_per_pane, 2),
+        panes_on_events_per_sec=round(total / on_best if on_best > 0 else float(total), 1),
+        panes_off_events_per_sec=round(total / off_best if off_best > 0 else float(total), 1),
+        samples=repeats,
+    )
+
+
 def write_bench_json(
     records: list[BenchRecord],
     path: "str | Path" = DEFAULT_BENCH_PATH,
     compaction: "CohortCompactionRecord | None" = None,
+    pane_sharing: "PaneSharingRecord | None" = None,
 ) -> Path:
     """Write the records as the machine-readable ``BENCH_engine.json``."""
     payload = {
@@ -323,6 +439,8 @@ def write_bench_json(
     }
     if compaction is not None:
         payload["cohort_compaction"] = compaction.to_json()
+    if pane_sharing is not None:
+        payload["pane_sharing"] = pane_sharing.to_json()
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

@@ -2,10 +2,17 @@
 
 :func:`repro.datasets.random_scenario` draws randomized scenarios over a grid
 of window/slide/group/predicate/aggregate/pattern combinations; this module
-replays each of them through all four optimised executors — Sharon (shared
-online, cohort compaction on), A-Seq (non-shared online), and the two-step
-baselines (Flink-like, SPASS-like) — and compares every result against the
-deliberately naive :class:`repro.executor.OracleExecutor`.
+replays each of them through the optimised executors — Sharon (shared online,
+cohort compaction on, in both per-instance and pane-partitioned mode), A-Seq
+(non-shared online), and the two-step baselines (Flink-like, SPASS-like) —
+and compares every result against the deliberately naive
+:class:`repro.executor.OracleExecutor`.
+
+A second, pane-targeted grid replays scenarios drawn from the pane-stressing
+window regime (``random_scenario(..., pane_stress=True)``: deep overlap,
+slide∤size shapes, gcd=1 unit panes, the tumbling fallback) through the
+engine with panes on *and* off, so the pane refactor is differentially pinned
+exactly where it is most fragile.
 
 When a divergence is found the harness *shrinks* it: events and queries are
 removed greedily while the divergence persists, and the failure message
@@ -13,9 +20,9 @@ prints the minimal reproducer so it can be checked into
 :class:`TestRegressionCorpus` (learning from failures: every bug becomes a
 permanent regression case).
 
-The scenario count is controlled by the ``ORACLE_DIFF_SCENARIOS`` environment
-variable (default 240, CI may reduce it); seeds are fixed so every run is
-reproducible.
+Grid sizes are controlled by the ``ORACLE_DIFF_SCENARIOS`` (default 240) and
+``PANE_DIFF_SCENARIOS`` (default 120) environment variables; CI may reduce
+them.  Seeds are fixed so every run is reproducible.
 """
 
 from __future__ import annotations
@@ -41,6 +48,9 @@ from ..conftest import random_maximal_plan
 #: Total randomized scenarios checked per full run (acceptance: >= 200).
 NUM_SCENARIOS = int(os.environ.get("ORACLE_DIFF_SCENARIOS", "240"))
 
+#: Pane-stressed scenarios replayed with panes on and off per full run.
+NUM_PANE_SCENARIOS = int(os.environ.get("PANE_DIFF_SCENARIOS", "120"))
+
 #: Scenarios are split into parametrized blocks so failures localise.
 NUM_BLOCKS = 8
 
@@ -51,27 +61,42 @@ def deterministic_plan(workload: Workload, seed: int) -> SharingPlan:
 
 
 def executors_under_test(workload: Workload, seed: int):
-    """The four optimised executors, freshly constructed per evaluation."""
+    """The optimised executors, freshly constructed per evaluation."""
     plan = deterministic_plan(workload, seed)
     return (
         ("A-Seq", ASeqExecutor(workload)),
         ("Sharon", SharonExecutor(workload, plan=plan)),
+        ("Sharon-panes", SharonExecutor(workload, plan=plan, panes=True)),
         ("Flink-like", FlinkLikeExecutor(workload)),
         ("SPASS-like", SpassLikeExecutor(workload)),
     )
 
 
-def find_divergence(workload: Workload, stream: EventStream, seed: int):
+def pane_executors_under_test(workload: Workload, seed: int):
+    """Both pane modes of the engine (the pane-stress grid's executor set)."""
+    plan = deterministic_plan(workload, seed)
+    return (
+        ("Sharon-panes-on", SharonExecutor(workload, plan=plan, panes=True)),
+        ("Sharon-panes-off", SharonExecutor(workload, plan=plan, panes=False)),
+        ("A-Seq-panes-on", ASeqExecutor(workload, panes=True)),
+    )
+
+
+def find_divergence(
+    workload: Workload, stream: EventStream, seed: int, executors=executors_under_test
+):
     """First (executor name, differences) mismatching the oracle, or ``None``."""
     oracle = OracleExecutor(workload).run(stream).results
-    for name, executor in executors_under_test(workload, seed):
+    for name, executor in executors(workload, seed):
         results = executor.run(stream).results
         if not results.matches(oracle):
             return name, results.differences(oracle)[:5]
     return None
 
 
-def shrink_divergence(workload: Workload, stream: EventStream, seed: int):
+def shrink_divergence(
+    workload: Workload, stream: EventStream, seed: int, executors=executors_under_test
+):
     """Greedy delta-debugging: drop queries/events while the divergence persists."""
     queries = list(workload)
     events = list(stream)
@@ -82,7 +107,7 @@ def shrink_divergence(workload: Workload, stream: EventStream, seed: int):
             if len(queries) <= 1:
                 break
             candidate = Workload(queries[:index] + queries[index + 1 :], name=workload.name)
-            if find_divergence(candidate, EventStream(events), seed):
+            if find_divergence(candidate, EventStream(events), seed, executors):
                 queries = list(candidate)
                 shrinking = True
                 break
@@ -90,22 +115,25 @@ def shrink_divergence(workload: Workload, stream: EventStream, seed: int):
             continue
         for index in range(len(events)):
             candidate = EventStream(events[:index] + events[index + 1 :], name=stream.name)
-            if find_divergence(Workload(queries, name=workload.name), candidate, seed):
+            if find_divergence(Workload(queries, name=workload.name), candidate, seed, executors):
                 events = list(candidate)
                 shrinking = True
                 break
     return Workload(queries, name=workload.name), EventStream(events, name=stream.name)
 
 
-def check_scenario(seed: int) -> None:
-    workload, stream = random_scenario(seed)
-    divergence = find_divergence(workload, stream, seed)
+def check_scenario(seed: int, pane_stress: bool = False, executors=executors_under_test) -> None:
+    workload, stream = random_scenario(seed, pane_stress=pane_stress)
+    divergence = find_divergence(workload, stream, seed, executors)
     if divergence is None:
         return
-    minimal_workload, minimal_stream = shrink_divergence(workload, stream, seed)
-    name, differences = find_divergence(minimal_workload, minimal_stream, seed) or divergence
+    minimal_workload, minimal_stream = shrink_divergence(workload, stream, seed, executors)
+    name, differences = (
+        find_divergence(minimal_workload, minimal_stream, seed, executors) or divergence
+    )
     pytest.fail(
-        f"scenario seed={seed}: executor {name} diverges from the oracle.\n"
+        f"scenario seed={seed} (pane_stress={pane_stress}): "
+        f"executor {name} diverges from the oracle.\n"
         f"first differences (key, executor value, oracle value): {differences}\n"
         f"minimal reproducer:\n{describe_scenario(minimal_workload, minimal_stream)}\n"
         f"plan seed: {seed} (rebuild with deterministic_plan)"
@@ -114,13 +142,37 @@ def check_scenario(seed: int) -> None:
 
 @pytest.mark.parametrize("block", range(NUM_BLOCKS))
 def test_executors_match_oracle_on_randomized_grid(block):
-    """Sharon, A-Seq, and both two-step baselines equal the oracle everywhere."""
+    """Sharon (both pane modes), A-Seq, and the two-step baselines equal the oracle."""
     per_block = (NUM_SCENARIOS + NUM_BLOCKS - 1) // NUM_BLOCKS
     for offset in range(per_block):
         seed = block * per_block + offset
         if seed >= NUM_SCENARIOS:
             break
         check_scenario(seed)
+
+
+@pytest.mark.parametrize("block", range(NUM_BLOCKS))
+def test_pane_modes_match_oracle_on_pane_stress_grid(block):
+    """Panes on and panes off agree with the oracle on pane-hostile windows."""
+    per_block = (NUM_PANE_SCENARIOS + NUM_BLOCKS - 1) // NUM_BLOCKS
+    for offset in range(per_block):
+        seed = block * per_block + offset
+        if seed >= NUM_PANE_SCENARIOS:
+            break
+        check_scenario(seed, pane_stress=True, executors=pane_executors_under_test)
+
+
+def test_pane_stress_grid_exercises_pane_mode():
+    """The pane grid is toothless if every scenario falls back: most must not."""
+    from repro.executor.engine import StreamingEngine
+
+    pane_runs = 0
+    total = min(NUM_PANE_SCENARIOS, 40) or 40
+    for seed in range(total):
+        workload, _stream = random_scenario(seed, pane_stress=True)
+        if StreamingEngine.panes_eligible(workload[0].window):
+            pane_runs += 1
+    assert pane_runs >= total // 2
 
 
 def test_compaction_fires_during_differential_runs():
@@ -266,3 +318,80 @@ class TestRegressionCorpus:
             [("A", 0), ("A", 1), ("A", 1), ("B", 2), ("A", 3), ("B", 4)]
         )
         self._assert_matches_oracle(workload, stream)
+
+    def _assert_pane_modes_match_oracle(self, workload, stream, seed: int = 0):
+        divergence = find_divergence(workload, stream, seed, pane_executors_under_test)
+        assert divergence is None, divergence
+
+    def test_pane_boundary_batch(self):
+        """Same-timestamp batches sitting exactly on pane boundaries.
+
+        Window (10, 4) has pane width 2; matches must chain across the
+        boundary but never within a boundary batch, in both pane modes.
+        """
+        window = SlidingWindow(size=10, slide=4)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "B", "C")), window, name="p1"),
+                Query(Pattern(("A", "B")), window, name="p2"),
+            ]
+        )
+        stream = EventStream.from_tuples(
+            [("A", 2), ("B", 2), ("A", 3), ("B", 4), ("C", 4), ("C", 6), ("A", 8), ("B", 9), ("C", 10)]
+        )
+        self._assert_pane_modes_match_oracle(workload, stream)
+
+    def test_pane_gcd_one_with_repeated_types(self):
+        """Unit-width panes (gcd = 1): every pane holds one timestamp batch."""
+        window = SlidingWindow(size=7, slide=3)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "A", "B")), window, name="p3"),
+                Query(Pattern(("B", "A")), window, name="p4"),
+            ]
+        )
+        stream = EventStream.from_tuples(
+            [("A", 0), ("A", 1), ("A", 1), ("B", 3), ("A", 5), ("B", 6), ("A", 7), ("B", 9)]
+        )
+        self._assert_pane_modes_match_oracle(workload, stream)
+
+    def test_pane_mixed_aggregates_and_grouping(self):
+        """Attribute aggregates + grouping across panes narrower than the slide."""
+        window = SlidingWindow(size=9, slide=6)  # pane width 3
+        predicates = PredicateSet.same("entity")
+        queries = [
+            Query(
+                Pattern(("A", "B")),
+                window,
+                aggregate=AggregateSpec.sum("B", "value"),
+                predicates=predicates,
+                name="p5",
+            ),
+            Query(
+                Pattern(("A", "B")),
+                window,
+                aggregate=AggregateSpec.avg("A", "value"),
+                predicates=predicates,
+                name="p6",
+            ),
+            Query(
+                Pattern(("B", "A", "B")),
+                window,
+                aggregate=AggregateSpec.min("B", "value"),
+                predicates=predicates,
+                name="p7",
+            ),
+        ]
+        workload = Workload(queries)
+        rows = [
+            ("A", 0, {"entity": 0, "value": 4}),
+            ("B", 2, {"entity": 0, "value": 7}),
+            ("B", 2, {"entity": 1, "value": 1}),
+            ("A", 3, {"entity": 1, "value": 9}),
+            ("B", 5, {"entity": 1, "value": 2}),
+            ("A", 6, {"entity": 0, "value": 5}),
+            ("B", 8, {"entity": 0, "value": 3}),
+            ("B", 11, {"entity": 1, "value": 6}),
+        ]
+        events = [Event(t, ts, attrs, i) for i, (t, ts, attrs) in enumerate(rows)]
+        self._assert_pane_modes_match_oracle(workload, EventStream(events))

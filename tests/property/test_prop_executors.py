@@ -133,6 +133,58 @@ def test_compaction_shrinks_cohorts_on_shared_prefix_workloads(stream, plan_seed
     assert report.metrics.cohorts_merged <= report.metrics.cohorts_created
 
 
+@settings(max_examples=40, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_pane_partitioning_is_semantics_preserving(workload, stream, plan_seed):
+    """For any random stream, panes on and panes off produce identical results.
+
+    Pane partitioning only changes *who owns* the aggregation state (a pane
+    of width gcd(size, slide) instead of each covering window instance); the
+    assembled per-window values must be bit-for-bit the per-instance ones,
+    and both must equal the brute-force oracle.
+    """
+    plan = random_valid_plan(workload, plan_seed)
+    panes_on = SharonExecutor(workload, plan=plan, panes=True).run(stream).results
+    panes_off = SharonExecutor(workload, plan=plan, panes=False).run(stream).results
+    assert panes_on.matches(panes_off), (
+        list(plan),
+        panes_on.differences(panes_off)[:5],
+    )
+    oracle = FlinkLikeExecutor(workload).run(stream).results
+    assert panes_on.matches(oracle), (list(plan), panes_on.differences(oracle)[:5])
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_pane_and_compaction_toggles_commute(workload, stream, plan_seed):
+    """All four pane × compaction combinations agree on every scenario.
+
+    The two optimisations are independent representation changes (panes own
+    scope state, compaction shrinks cohort sets); toggling either must never
+    change a result, so the full 2×2 grid collapses to one answer.
+    """
+    plan = random_valid_plan(workload, plan_seed)
+    reference = None
+    reference_config = None
+    for panes in (False, True):
+        for compaction in (False, True):
+            results = (
+                SharonExecutor(workload, plan=plan, panes=panes, compaction=compaction)
+                .run(stream)
+                .results
+            )
+            if reference is None:
+                reference = results
+                reference_config = (panes, compaction)
+                continue
+            assert results.matches(reference), (
+                list(plan),
+                reference_config,
+                (panes, compaction),
+                results.differences(reference)[:5],
+            )
+
+
 @settings(max_examples=25, deadline=None)
 @given(workloads(), streams())
 def test_empty_and_full_plans_agree(workload, stream):

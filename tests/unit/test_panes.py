@@ -1,0 +1,257 @@
+"""Unit tests for the pane-partitioned engine layer (repro.executor.panes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import Event, EventStream, SlidingWindow
+from repro.executor import (
+    ASeqExecutor,
+    CompiledPaneWorkload,
+    PaneCountMatrix,
+    PaneScope,
+    PaneStateMatrix,
+    SharonExecutor,
+    StreamingEngine,
+    WindowPaneAccumulator,
+)
+from repro.executor.panes import make_pane_matrix
+from repro.queries import AggregateSpec, Pattern, Query, Workload
+
+
+def events_at(*rows) -> list[Event]:
+    """Events from (type, timestamp[, attrs]) rows."""
+    events = []
+    for event_id, row in enumerate(rows):
+        event_type, timestamp, *rest = row
+        events.append(Event(event_type, timestamp, rest[0] if rest else {}, event_id))
+    return events
+
+
+def apply_single(matrix, pattern: Pattern, spec: AggregateSpec, events: list[Event]) -> None:
+    """Feed each timestamp's events as one batch through the matrix."""
+    from repro.executor.prefix_agg import group_by_position, positions_by_type
+
+    positions = positions_by_type(pattern)
+    by_timestamp: dict[int, list[Event]] = {}
+    for event in events:
+        by_timestamp.setdefault(event.timestamp, []).append(event)
+    for timestamp in sorted(by_timestamp):
+        by_position = group_by_position(by_timestamp[timestamp], positions)
+        if by_position is not None:
+            matrix.apply_batch(by_position, spec)
+
+
+class TestPaneCountMatrix:
+    def test_counts_submatches_per_position_pair(self):
+        pattern = Pattern(("A", "B", "C"))
+        spec = AggregateSpec.count_star()
+        matrix = PaneCountMatrix(pattern, spec)
+        apply_single(matrix, pattern, spec, events_at(("A", 0), ("B", 1), ("C", 2)))
+        # cells[j][i] = matches of positions i..j inside the pane.
+        assert matrix.cells[0] == [1]          # (A)
+        assert matrix.cells[1] == [1, 1]       # (A,B), (B)
+        assert matrix.cells[2] == [1, 1, 1]    # (A,B,C), (B,C), (C)
+
+    def test_same_timestamp_events_never_chain(self):
+        pattern = Pattern(("A", "B"))
+        spec = AggregateSpec.count_star()
+        matrix = PaneCountMatrix(pattern, spec)
+        apply_single(matrix, pattern, spec, events_at(("A", 3), ("B", 3)))
+        assert matrix.cells[1][0] == 0  # no (A,B) match within one timestamp
+        assert matrix.cells[0] == [1]
+        assert matrix.cells[1][1] == 1
+
+    def test_repeated_type_pattern(self):
+        pattern = Pattern(("A", "A"))
+        spec = AggregateSpec.count_star()
+        matrix = PaneCountMatrix(pattern, spec)
+        apply_single(matrix, pattern, spec, events_at(("A", 0), ("A", 1), ("A", 2)))
+        assert matrix.cells[0] == [3]
+        assert matrix.cells[1] == [3, 3]  # (0,1),(0,2),(1,2) and three singles
+
+    def test_fold_composes_across_panes(self):
+        pattern = Pattern(("A", "B"))
+        spec = AggregateSpec.count_star()
+        first = PaneCountMatrix(pattern, spec)
+        second = PaneCountMatrix(pattern, spec)
+        apply_single(first, pattern, spec, events_at(("A", 0)))
+        apply_single(second, pattern, spec, events_at(("B", 5)))
+        vector = first.new_vector()
+        first.fold(vector)
+        second.fold(vector)
+        # The single cross-pane match (A@0, B@5).
+        assert first.final_state(vector).count == 1
+
+    def test_fold_with_identity_pane_is_noop(self):
+        pattern = Pattern(("A", "B"))
+        spec = AggregateSpec.count_star()
+        matrix = PaneCountMatrix(pattern, spec)
+        apply_single(matrix, pattern, spec, events_at(("A", 0), ("B", 1)))
+        vector = matrix.new_vector()
+        matrix.fold(vector)
+        snapshot = list(vector)
+        PaneCountMatrix(pattern, spec).fold(vector)  # empty pane
+        assert vector == snapshot
+
+
+class TestPaneStateMatrix:
+    def test_sum_aggregate_across_panes(self):
+        pattern = Pattern(("A", "B"))
+        spec = AggregateSpec.sum("B", "value")
+        first = PaneStateMatrix(pattern, spec)
+        second = PaneStateMatrix(pattern, spec)
+        apply_single(first, pattern, spec, events_at(("A", 0, {"value": 1}), ("B", 1, {"value": 7})))
+        apply_single(second, pattern, spec, events_at(("B", 4, {"value": 5})))
+        vector = first.new_vector()
+        first.fold(vector)
+        second.fold(vector)
+        state = second.final_state(vector)
+        # Matches: (A@0, B@1) and (A@0, B@4) -> SUM(B.value) = 7 + 5.
+        assert state.count == 2
+        assert state.total == 12.0
+
+    def test_make_pane_matrix_picks_count_fast_path(self):
+        pattern = Pattern(("A", "B"))
+        assert isinstance(make_pane_matrix(pattern, AggregateSpec.count_star()), PaneCountMatrix)
+        assert isinstance(
+            make_pane_matrix(pattern, AggregateSpec.min("A", "value")), PaneStateMatrix
+        )
+
+
+class TestCompiledPaneWorkload:
+    def test_queries_with_equal_pattern_and_spec_share_one_matrix(self):
+        window = SlidingWindow(size=8, slide=2)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "B")), window, name="k1"),
+                Query(Pattern(("A", "B")), window, name="k2"),
+                Query(Pattern(("A", "C")), window, name="k3"),
+            ]
+        )
+        compiled = CompiledPaneWorkload(workload)
+        assert compiled.key_by_query["k1"] == compiled.key_by_query["k2"]
+        assert compiled.key_by_query["k1"] != compiled.key_by_query["k3"]
+        assert len(compiled.matrix_infos) == 2
+
+        scope = PaneScope(compiled, pane_index=0, group=())
+        scope.process_batch(events_at(("A", 0)))
+        scope.process_batch(events_at(("B", 1), ("C", 1)))
+        assert len(scope.matrices) == 2
+
+        accumulator = WindowPaneAccumulator(compiled)
+        accumulator.absorb(scope)
+        assert accumulator.final_value("k1") == 1
+        assert accumulator.final_value("k2") == 1
+        assert accumulator.final_value("k3") == 1
+
+    def test_untouched_query_finalizes_to_zero(self):
+        window = SlidingWindow(size=8, slide=2)
+        workload = Workload([Query(Pattern(("A", "B")), window, name="z1")])
+        accumulator = WindowPaneAccumulator(CompiledPaneWorkload(workload))
+        assert accumulator.final_value("z1") == 0
+
+
+class TestEnginePaneMode:
+    def test_eligibility_requires_overlap(self):
+        assert StreamingEngine.panes_eligible(SlidingWindow(size=8, slide=2))
+        assert StreamingEngine.panes_eligible(SlidingWindow(size=7, slide=3))
+        assert not StreamingEngine.panes_eligible(SlidingWindow(size=6, slide=6))
+
+    def test_tumbling_window_falls_back_to_per_instance_loop(self):
+        window = SlidingWindow(size=6, slide=6)
+        workload = Workload([Query(Pattern(("A", "B")), window, name="f1")])
+        executor = ASeqExecutor(workload, panes=True)
+        assert not executor._engine.uses_panes
+        report = executor.run(EventStream(events_at(("A", 0), ("B", 1))))
+        assert report.metrics.panes_created == 0
+        assert report.metrics.pane_merges == 0
+        assert report.results.value("f1", window.instance_starting_at(0)) == 1
+
+    def test_pane_mode_emits_identical_results_and_pane_metrics(self):
+        window = SlidingWindow(size=8, slide=2)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "B")), window, name="m1"),
+                Query(Pattern(("B", "A")), window, name="m2"),
+            ]
+        )
+        stream = EventStream(
+            events_at(("A", 0), ("B", 2), ("A", 3), ("B", 5), ("A", 7), ("B", 8), ("A", 11))
+        )
+        panes_on = ASeqExecutor(workload, panes=True)
+        assert panes_on._engine.uses_panes
+        on_report = panes_on.run(stream)
+        off_report = ASeqExecutor(workload, panes=False).run(stream)
+        assert on_report.results.matches(off_report.results), on_report.results.differences(
+            off_report.results
+        )[:5]
+        assert on_report.metrics.panes_created > 0
+        assert on_report.metrics.pane_merges > 0
+        assert on_report.metrics.events_per_pane > 0
+        assert off_report.metrics.panes_created == 0
+
+    def test_pane_mode_processes_each_event_once(self):
+        """state_updates in pane mode must not scale with the overlap factor."""
+        window = SlidingWindow(size=12, slide=2)  # overlap 6
+        workload = Workload([Query(Pattern(("A", "B")), window, name="u1")])
+        stream = EventStream(
+            events_at(*[("A" if t % 2 == 0 else "B", t) for t in range(24)])
+        )
+        on = ASeqExecutor(workload, panes=True).run(stream)
+        off = ASeqExecutor(workload, panes=False).run(stream)
+        assert on.results.matches(off.results)
+        # Per-instance mode re-processes each event once per covering window;
+        # pane mode touches each event once (pattern-length matrix cells).
+        assert on.metrics.state_updates < off.metrics.state_updates
+
+    def test_grouped_pane_mode_keeps_groups_apart(self):
+        window = SlidingWindow(size=8, slide=4)
+        workload = Workload(
+            [Query(Pattern(("A", "B")), window, group_by=("region",), name="g1")]
+        )
+        stream = EventStream(
+            events_at(
+                ("A", 0, {"region": 0}),
+                ("B", 1, {"region": 0}),
+                ("A", 1, {"region": 1}),
+                ("B", 2, {"region": 1}),
+                ("B", 2, {"region": 0}),
+            )
+        )
+        on = ASeqExecutor(workload, panes=True).run(stream)
+        off = ASeqExecutor(workload, panes=False).run(stream)
+        assert on.results.matches(off.results), on.results.differences(off.results)[:5]
+        window0 = window.instance_starting_at(0)
+        assert on.results.value("g1", window0, (0,)) == 2
+        assert on.results.value("g1", window0, (1,)) == 1
+
+    def test_on_batch_callback_fires_in_pane_mode(self):
+        window = SlidingWindow(size=8, slide=2)
+        workload = Workload([Query(Pattern(("A", "B")), window, name="cb1")])
+        engine = StreamingEngine(workload, panes=True)
+        seen = []
+        engine.run(
+            EventStream(events_at(("A", 0), ("B", 1), ("B", 1), ("A", 4))),
+            on_batch=lambda timestamp, batch: seen.append((timestamp, len(batch))),
+        )
+        assert seen == [(0, 1), (1, 2), (4, 1)]
+
+    def test_sharon_executor_exposes_panes_toggle(self):
+        window = SlidingWindow(size=8, slide=2)
+        workload = Workload(
+            [
+                Query(Pattern(("A", "B", "C")), window, name="s1"),
+                Query(Pattern(("A", "B", "D")), window, name="s2"),
+            ]
+        )
+        from tests.conftest import random_maximal_plan
+
+        plan = random_maximal_plan(workload, 0)
+        stream = EventStream(
+            events_at(("A", 0), ("B", 1), ("C", 2), ("D", 3), ("A", 4), ("B", 6), ("C", 7))
+        )
+        on = SharonExecutor(workload, plan=plan, panes=True).run(stream)
+        off = SharonExecutor(workload, plan=plan, panes=False).run(stream)
+        assert on.results.matches(off.results), on.results.differences(off.results)[:5]
+        assert on.metrics.panes_created > 0

@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import doctest
+
 import pytest
 
+import repro.events.windows as windows_module
 from repro.events import SlidingWindow, WindowInstance
+
+#: Window shapes covering the pane regimes: slide | size, slide ∤ size,
+#: gcd = 1 (unit panes), and tumbling.
+PANE_SHAPES = [(12, 4), (10, 4), (9, 6), (7, 3), (6, 6), (12, 2), (8, 5)]
 
 
 class TestWindowInstance:
@@ -92,3 +99,132 @@ class TestInstanceEnumeration:
         for timestamp in range(0, 40):
             for instance in window.instances_containing(timestamp):
                 assert instance.contains(timestamp)
+
+
+class TestWindowEdgeSemantics:
+    """Pin the boundary behaviour the pane refactor relies on (half-open ends)."""
+
+    def test_doctests_pass(self):
+        """The examples in the module docstrings are executable and true."""
+        failures, tests = doctest.testmod(windows_module)
+        assert tests > 0
+        assert failures == 0
+
+    def test_end_boundary_timestamp_excluded_from_ending_instance(self):
+        window = SlidingWindow(size=6, slide=2)
+        for timestamp in range(0, 30):
+            instances = window.instances_containing(timestamp)
+            assert all(instance.start <= timestamp < instance.end for instance in instances)
+            # The instance ending exactly at `timestamp` is never included.
+            assert WindowInstance(timestamp - 6, timestamp) not in instances
+
+    def test_instances_containing_equals_brute_force(self):
+        """instances_containing == the definitionally-enumerated instance set."""
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            for timestamp in range(0, 3 * size):
+                expected = [
+                    WindowInstance(start, start + size)
+                    for start in range(0, timestamp + 1, slide)
+                    if start <= timestamp < start + size
+                ]
+                assert window.instances_containing(timestamp) == expected, (size, slide, timestamp)
+
+    def test_instances_between_endpoints_inclusive(self):
+        window = SlidingWindow(size=6, slide=2)
+        instances = list(window.instances_between(6, 6))
+        # Every instance containing t=6, nothing more.
+        assert instances == window.instances_containing(6)
+        assert list(window.instances_between(7, 6)) == []
+
+    def test_instances_between_equals_union_of_containing(self):
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            start_time, end_time = 3, 2 * size + 1
+            expected = []
+            for timestamp in range(start_time, end_time + 1):
+                for instance in window.instances_containing(timestamp):
+                    if instance not in expected:
+                        expected.append(instance)
+            assert sorted(window.instances_between(start_time, end_time)) == sorted(expected)
+
+
+class TestPaneGeometry:
+    def test_pane_width_is_gcd(self):
+        assert SlidingWindow(size=12, slide=4).pane_width == 4
+        assert SlidingWindow(size=10, slide=4).pane_width == 2
+        assert SlidingWindow(size=9, slide=6).pane_width == 3
+        assert SlidingWindow(size=7, slide=3).pane_width == 1
+        assert SlidingWindow(size=6, slide=6).pane_width == 6
+
+    def test_panes_tile_the_timeline(self):
+        """Every timestamp belongs to exactly one pane; spans are contiguous."""
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            previous_end = 0
+            for pane_index in range(0, 20):
+                start, end = window.pane_span(pane_index)
+                assert start == previous_end
+                assert end - start == window.pane_width
+                previous_end = end
+                for timestamp in range(start, end):
+                    assert window.pane_index_of(timestamp) == pane_index
+
+    def test_windows_are_exact_pane_unions(self):
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            for instance in window.instances_between(0, 3 * size):
+                panes = list(window.panes_covering(instance))
+                assert len(panes) == window.panes_per_window
+                covered = [
+                    timestamp
+                    for pane_index in panes
+                    for timestamp in range(*window.pane_span(pane_index))
+                ]
+                assert covered == list(range(instance.start, instance.end))
+
+    def test_panes_covering_instances_containing_consistency(self):
+        """pane_index_of(t) ∈ panes_covering(w) for every w containing t, and
+        instances_covering_pane is exactly the preimage of panes_covering."""
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            for timestamp in range(0, 3 * size):
+                pane_index = window.pane_index_of(timestamp)
+                for instance in window.instances_containing(timestamp):
+                    assert pane_index in window.panes_covering(instance)
+            for pane_index in range(0, 2 * size // window.pane_width):
+                covering = window.instances_covering_pane(pane_index)
+                expected = [
+                    instance
+                    for instance in window.instances_between(0, 4 * size)
+                    if pane_index in window.panes_covering(instance)
+                ]
+                assert covering == expected, (size, slide, pane_index)
+
+    def test_instances_covering_pane_matches_per_timestamp_instances(self):
+        """Panes never straddle window boundaries: every timestamp of a pane
+        belongs to exactly the instances covering the pane."""
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            for pane_index in range(0, 2 * size // window.pane_width):
+                covering = set(window.instances_covering_pane(pane_index))
+                for timestamp in range(*window.pane_span(pane_index)):
+                    assert set(window.instances_containing(timestamp)) == covering
+
+    def test_gcd_one_degenerate(self):
+        window = SlidingWindow(size=7, slide=3)
+        assert window.pane_width == 1
+        assert window.panes_per_window == 7
+        assert window.pane_span(5) == (5, 6)
+        assert list(window.panes_covering(WindowInstance(3, 10))) == list(range(3, 10))
+
+    def test_panes_covering_rejects_misaligned_instance(self):
+        window = SlidingWindow(size=12, slide=4)
+        with pytest.raises(ValueError, match="aligned"):
+            window.panes_covering(WindowInstance(1, 13))
+
+    def test_pane_index_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(size=4, slide=2).pane_index_of(-1)
+        with pytest.raises(ValueError):
+            SlidingWindow(size=4, slide=2).instances_covering_pane(-1)
