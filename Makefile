@@ -3,11 +3,17 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 ## Differential-grid sizes (override to shrink/grow the randomized grids):
 ##   ORACLE_DIFF_SCENARIOS - scenarios replayed through every executor
+##                           (columnar and scalar ingestion, panes on/off)
 ##   PANE_DIFF_SCENARIOS   - pane-stressed scenarios replayed with panes on/off
 ORACLE_DIFF_SCENARIOS ?= 240
 PANE_DIFF_SCENARIOS ?= 120
 export ORACLE_DIFF_SCENARIOS
 export PANE_DIFF_SCENARIOS
+
+## Best-of-N sample count of the columnar_routing benchmark section
+## (BENCH_engine.json and the benchmarks/test_engine_throughput.py gate).
+COLUMNAR_BENCH_REPEATS ?= 5
+export COLUMNAR_BENCH_REPEATS
 
 .PHONY: test test-fast bench figures lint
 

@@ -16,6 +16,11 @@ This is the asymptotics safety net of the shared online engine
    (overlap factor 20) the pane-partitioned mode must reach at least 2x the
    per-instance throughput while producing bit-identical results — the
    pane refactor's reason to exist.
+4. **Columnar routing beats per-event routing.**  On the routing-bound
+   scenario (many event types × groups × selective predicates) the columnar
+   micro-batch path must reach at least 2x the scalar per-event throughput
+   while producing bit-identical results — the columnar ingestion
+   pipeline's reason to exist.
 
 ``python -m repro bench`` / ``make bench`` runs the same scenarios and
 writes the machine-readable ``BENCH_engine.json`` performance trajectory.
@@ -30,6 +35,7 @@ from repro.experiments import (
     run_compaction_benchmark,
     run_engine_benchmark,
     run_pane_benchmark,
+    run_routing_benchmark,
     write_bench_json,
 )
 
@@ -52,6 +58,13 @@ MIN_COMPACTION_THROUGHPUT_RATIO = 0.9
 #: typically lands ~6-9x, so 2x leaves ample headroom for CI jitter while
 #: still failing any reintroduced per-instance fan-out).
 MIN_PANE_SPEEDUP = 2.0
+
+#: Columnar micro-batch ingestion must reach at least this multiple of the
+#: scalar per-event throughput on the routing-bound scenario (many event
+#: types × groups × selective predicates; the columnar path typically lands
+#: ~4-6x there, so 2x leaves ample headroom for CI jitter while still
+#: failing any reintroduced per-event routing work).
+MIN_COLUMNAR_SPEEDUP = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -150,6 +163,38 @@ def test_pane_sharing_exercises_panes(pane_record):
     assert pane_record.pane_merges >= pane_record.panes_created
 
 
+@pytest.fixture(scope="module")
+def routing_record():
+    return run_routing_benchmark()
+
+
+def test_columnar_routing_speedup(routing_record):
+    """Columnar on must beat columnar off by ≥2x on the routing-bound scenario.
+
+    ``run_routing_benchmark`` already refuses to produce a record when the
+    two modes disagree on any result, so a passing gate certifies both the
+    speedup and zero divergence.
+    """
+    on = routing_record.columnar_on_events_per_sec
+    off = routing_record.columnar_off_events_per_sec
+    assert on >= off * MIN_COLUMNAR_SPEEDUP, (
+        f"columnar-routing throughput ({on:,.0f} ev/s) below "
+        f"{MIN_COLUMNAR_SPEEDUP:.0f}x of the scalar per-event throughput "
+        f"({off:,.0f} ev/s) on the routing-bound scenario - the columnar "
+        "micro-batch path lost its advantage"
+    )
+
+
+def test_columnar_routing_is_routing_bound(routing_record):
+    """The record must prove the scenario shape and that columnar mode ran."""
+    assert routing_record.columnar_batches > 0
+    # Routing-bound by construction: almost every event is dropped by type
+    # dispatch or the selective predicate before reaching any scope.
+    assert routing_record.relevant_fraction < 0.05
+    assert routing_record.event_types > routing_record.pattern_event_types * 4
+    assert routing_record.groups > 1
+
+
 def test_records_expose_sample_spread(bench_records):
     """Best-of-N records must carry the median so noise stays visible."""
     for record in bench_records:
@@ -157,7 +202,7 @@ def test_records_expose_sample_spread(bench_records):
         assert record.elapsed_median_seconds >= record.elapsed_seconds
 
 
-def test_bench_json_schema(bench_records, compaction_record, pane_record, tmp_path):
+def test_bench_json_schema(bench_records, compaction_record, pane_record, routing_record, tmp_path):
     import json
 
     target = write_bench_json(
@@ -165,6 +210,7 @@ def test_bench_json_schema(bench_records, compaction_record, pane_record, tmp_pa
         tmp_path / "BENCH_engine.json",
         compaction=compaction_record,
         pane_sharing=pane_record,
+        columnar_routing=routing_record,
     )
     payload = json.loads(target.read_text(encoding="utf-8"))
     assert payload["benchmark"] == "engine-throughput"
@@ -200,3 +246,15 @@ def test_bench_json_schema(bench_records, compaction_record, pane_record, tmp_pa
         "panes_on_events_per_sec",
         "panes_off_events_per_sec",
     } <= set(pane_section)
+    routing_section = payload["columnar_routing"]
+    assert routing_section["scenario"] == "columnar-routing"
+    assert routing_section["columnar_batches"] > 0
+    assert {
+        "event_types",
+        "pattern_event_types",
+        "groups",
+        "relevant_fraction",
+        "columnar_on_events_per_sec",
+        "columnar_off_events_per_sec",
+        "samples",
+    } <= set(routing_section)

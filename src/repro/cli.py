@@ -20,8 +20,9 @@ The CLI exposes the library's main workflows without writing Python:
     write it to a CSV file).
 
 ``python -m repro bench``
-    Run the headless engine-throughput benchmark (stream scaling plus the
-    Fig. 13 dense-sharing scenario) and write the machine-readable
+    Run the headless engine-throughput benchmark (stream scaling, the
+    Fig. 13 dense-sharing scenario, and the cohort-compaction, pane-sharing,
+    and columnar-routing sections) and write the machine-readable
     ``BENCH_engine.json`` used to track the performance trajectory.
 
 The CLI is intentionally thin: every command maps onto documented library
@@ -212,6 +213,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         run_compaction_benchmark,
         run_engine_benchmark,
         run_pane_benchmark,
+        run_routing_benchmark,
         write_bench_json,
     )
 
@@ -272,7 +274,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Pane sharing",
         )
     )
-    target = write_bench_json(records, args.output, compaction=compaction, pane_sharing=pane_sharing)
+    columnar_routing = run_routing_benchmark()
+    print(
+        format_table(
+            ["scenario", "events", "types", "groups", "relevant", "ev/s on", "ev/s off"],
+            [
+                [
+                    columnar_routing.scenario,
+                    columnar_routing.events,
+                    columnar_routing.event_types,
+                    columnar_routing.groups,
+                    f"{columnar_routing.relevant_fraction:.2%}",
+                    f"{columnar_routing.columnar_on_events_per_sec:,.0f}",
+                    f"{columnar_routing.columnar_off_events_per_sec:,.0f}",
+                ]
+            ],
+            title="Columnar routing",
+        )
+    )
+    target = write_bench_json(
+        records,
+        args.output,
+        compaction=compaction,
+        pane_sharing=pane_sharing,
+        columnar_routing=columnar_routing,
+    )
     print(f"\nWrote {len(records)} records to {target}")
     return 0
 

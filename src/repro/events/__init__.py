@@ -1,5 +1,6 @@
 """Event model substrate: events, schemas, streams, and sliding windows."""
 
+from .columnar import ColumnLayout, ColumnarBatch, columnar_batches
 from .event import Event, EventType
 from .schema import AttributeSpec, EventSchema, SchemaRegistry, SchemaValidationError
 from .stream import (
@@ -9,7 +10,7 @@ from .stream import (
     merge_streams,
     timestamp_batches,
 )
-from .windows import SlidingWindow, WindowInstance
+from .windows import SlidingWindow, WindowCursor, WindowInstance
 
 __all__ = [
     "Event",
@@ -23,6 +24,10 @@ __all__ = [
     "interleave_by_timestamp",
     "merge_streams",
     "timestamp_batches",
+    "ColumnLayout",
+    "ColumnarBatch",
+    "columnar_batches",
     "SlidingWindow",
+    "WindowCursor",
     "WindowInstance",
 ]

@@ -1,0 +1,226 @@
+"""Columnar micro-batch representation of a timestamp batch.
+
+The per-event hot path of the streaming engine spends most of its time in
+boxed-``Event`` plumbing: an ``isinstance``-free but still per-event type
+lookup, a per-event predicate walk (``PredicateSet.accepts``), a per-event
+group-key tuple construction, and per-event metric counting.  None of that
+work depends on anything but a handful of *columns* — the event type, the
+attributes the workload's predicates read, and the partition attributes.
+
+This module provides the struct-of-arrays view the engine's columnar mode
+(:class:`~repro.executor.engine.StreamingEngine` with ``columnar=True``)
+consumes instead:
+
+* :class:`ColumnLayout` — *which* columns to materialise, derived once per
+  compiled workload: the relevant event types (interned to small integer
+  ids), the attributes read by filter predicates and aggregate specs, and
+  the partition attributes (GROUP BY + equivalence predicates) that become
+  interned group-key tuples.
+* :class:`ColumnarBatch` — one timestamp batch as parallel arrays:
+  ``type_ids`` (``-1`` for types outside the workload), one value list per
+  layout attribute, and the interned ``group_keys``.  The boxed ``events``
+  list is kept alongside so index selections can be materialised back into
+  row batches for the aggregation states.
+* :func:`columnar_batches` — the lookahead-free batch iterator, mirroring
+  :func:`~repro.events.stream.timestamp_batches` for arbitrary event
+  iterables.  :meth:`EventStream.columnar_batches
+  <repro.events.stream.EventStream.columnar_batches>` caches the built
+  batches per layout, so replaying an in-memory stream pays the column
+  extraction once — the ingestion cost model of a columnar source.
+
+Group keys are *interned*: equal keys across a stream are one tuple object,
+which removes per-event tuple allocation from the routing loop and keeps the
+per-group dictionaries compact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (EventStream)
+    from .stream import EventStream
+
+__all__ = ["ColumnLayout", "ColumnarBatch", "columnar_batches"]
+
+#: Distinct group keys retained by the streaming interner before it is
+#: dropped and restarted.  Interning is a dedup optimisation, never a
+#: correctness requirement, so resetting it merely loses tuple sharing
+#: across the boundary — and keeps unbounded-stream runs bounded by their
+#: open scopes (the engine's memory contract), not by group cardinality.
+_INTERNER_LIMIT = 4096
+
+
+class ColumnLayout:
+    """Which columns a :class:`ColumnarBatch` materialises.
+
+    Parameters
+    ----------
+    types:
+        The event types the workload can react to; interned to ids
+        ``0..len(types)-1`` in the given order.  Every other type maps to
+        ``-1`` (irrelevant by type).
+    attributes:
+        Attributes to extract into per-batch value columns (the union of
+        filter-predicate and aggregate-spec reads).
+    partition:
+        Attributes forming the group key (GROUP BY then equivalence
+        attributes, in :attr:`Query.partition_attributes` order); when
+        non-empty each batch carries an interned ``group_keys`` column.
+
+    Layouts are value objects (hashable, compared structurally) so
+    :class:`~repro.events.stream.EventStream` can cache built batches per
+    layout across engine runs and plan migrations.
+    """
+
+    __slots__ = ("types", "attributes", "partition", "_type_ids", "_hash")
+
+    def __init__(
+        self,
+        types: Iterable[str],
+        attributes: Iterable[str] = (),
+        partition: Iterable[str] = (),
+    ) -> None:
+        self.types: tuple[str, ...] = tuple(types)
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        self.partition: tuple[str, ...] = tuple(partition)
+        self._type_ids: dict[str, int] = {
+            event_type: index for index, event_type in enumerate(self.types)
+        }
+        if len(self._type_ids) != len(self.types):
+            raise ValueError("layout types must be unique")
+        self._hash = hash((self.types, self.attributes, self.partition))
+
+    def type_id(self, event_type: str) -> int:
+        """Interned id of ``event_type``; ``-1`` when outside the layout."""
+        return self._type_ids.get(event_type, -1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnLayout):
+            return NotImplemented
+        return (
+            self.types == other.types
+            and self.attributes == other.attributes
+            and self.partition == other.partition
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnLayout(types={len(self.types)}, attributes={list(self.attributes)}, "
+            f"partition={list(self.partition)})"
+        )
+
+
+class ColumnarBatch:
+    """One same-timestamp batch in struct-of-arrays form.
+
+    All columns are parallel to :attr:`events` but only *defined* at the
+    type-relevant indices (:attr:`relevant`): routing never reads a value or
+    group key of a row the workload cannot react to, so extraction skips
+    those rows and leaves ``None`` cells behind.  At relevant indices,
+    ``columns[attr][i] is None`` means event ``i`` does not carry ``attr``
+    (matching ``Event.attribute(attr)``).
+    """
+
+    __slots__ = (
+        "timestamp",
+        "events",
+        "size",
+        "type_ids",
+        "relevant",
+        "columns",
+        "group_keys",
+    )
+
+    def __init__(
+        self,
+        timestamp: int,
+        events: list[Event],
+        type_ids: list[int],
+        columns: dict[str, list[Any]],
+        group_keys: "list[tuple] | None",
+    ) -> None:
+        self.timestamp = timestamp
+        self.events = events
+        self.size = len(events)
+        self.type_ids = type_ids
+        #: Row indices whose type the layout knows (``type_ids[i] >= 0``) —
+        #: the batch's type-relevance selection, precomputed at ingestion so
+        #: routing never scans rows the workload cannot react to.
+        self.relevant: list[int] = [
+            i for i, type_id in enumerate(type_ids) if type_id >= 0
+        ]
+        self.columns = columns
+        self.group_keys = group_keys
+
+    @classmethod
+    def from_events(
+        cls,
+        timestamp: int,
+        events: list[Event],
+        layout: ColumnLayout,
+        key_interner: "dict[tuple, tuple] | None" = None,
+    ) -> "ColumnarBatch":
+        """Extract the layout's columns from one timestamp batch.
+
+        ``key_interner`` deduplicates group-key tuples across batches; pass
+        one shared dict per stream so routing dictionaries see one object per
+        distinct key.  Attribute cells and group keys are extracted only at
+        type-relevant rows — the rest of the batch is dead to routing by
+        construction, so per-event work tracks the relevant fraction, not
+        the stream rate.
+        """
+        type_of = layout._type_ids
+        type_ids = [type_of.get(event.event_type, -1) for event in events]
+        batch = cls(timestamp, events, type_ids, {}, None)
+        relevant = batch.relevant
+        columns = batch.columns
+        for attr in layout.attributes:
+            column: list[Any] = [None] * batch.size
+            for i in relevant:
+                column[i] = events[i].attributes.get(attr)
+            columns[attr] = column
+        partition = layout.partition
+        if partition:
+            interner = key_interner if key_interner is not None else {}
+            group_keys: list["tuple | None"] = [None] * batch.size
+            for i in relevant:
+                attrs = events[i].attributes
+                raw = tuple(attrs.get(name) for name in partition)
+                group_keys[i] = interner.setdefault(raw, raw)
+            batch.group_keys = group_keys
+        return batch
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnarBatch(t={self.timestamp}, {self.size} events)"
+
+
+def columnar_batches(
+    events: "EventStream | Iterable[Event]",
+    layout: ColumnLayout,
+) -> Iterator[ColumnarBatch]:
+    """Yield :class:`ColumnarBatch` per timestamp, lookahead-free.
+
+    In-memory :class:`~repro.events.stream.EventStream` inputs are served
+    from the stream's per-layout cache (built once, reused across runs);
+    arbitrary iterables are converted on the fly with the same memory bound
+    as :func:`~repro.events.stream.timestamp_batches` — only the current
+    batch is materialised.
+    """
+    from .stream import EventStream, timestamp_batches  # local: stream imports this module
+
+    if isinstance(events, EventStream):
+        yield from events.columnar_batches(layout)
+        return
+    interner: dict[tuple, tuple] = {}
+    for timestamp, batch in timestamp_batches(events):
+        yield ColumnarBatch.from_events(timestamp, batch, layout, interner)
+        if len(interner) > _INTERNER_LIMIT:
+            interner = {}

@@ -17,9 +17,12 @@ import itertools
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from .event import Event, EventType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (columnar)
+    from .columnar import ColumnLayout, ColumnarBatch
 
 __all__ = [
     "EventStream",
@@ -28,6 +31,10 @@ __all__ = [
     "interleave_by_timestamp",
     "timestamp_batches",
 ]
+
+#: Distinct column layouts cached per stream (FIFO-evicted beyond this);
+#: bounds resident memory when one long-lived stream serves many workloads.
+_COLUMNAR_CACHE_LIMIT = 4
 
 
 def timestamp_batches(
@@ -81,6 +88,9 @@ class EventStream:
     def __init__(self, events: Iterable[Event] = (), name: str = "stream") -> None:
         self._events: list[Event] = sorted(events, key=lambda e: (e.timestamp, e.event_id))
         self.name = name
+        #: Per-layout cache of columnar batches (built lazily, invalidated on
+        #: mutation); replaying an in-memory stream pays column extraction once.
+        self._columnar_cache: dict["ColumnLayout", list["ColumnarBatch"]] = {}
 
     # -- container protocol -------------------------------------------------
     def __iter__(self) -> Iterator[Event]:
@@ -124,11 +134,38 @@ class EventStream:
             self._events, event.timestamp, key=lambda e: e.timestamp
         )
         self._events.insert(position, event)
+        self._columnar_cache.clear()
 
     def extend(self, events: Iterable[Event]) -> None:
         self._events = sorted(
             list(self._events) + list(events), key=lambda e: (e.timestamp, e.event_id)
         )
+        self._columnar_cache.clear()
+
+    # -- columnar view --------------------------------------------------------
+    def columnar_batches(self, layout: "ColumnLayout") -> list["ColumnarBatch"]:
+        """The stream as columnar timestamp batches for ``layout``.
+
+        Built on first use and cached per layout (layouts are value objects),
+        so repeated engine runs — and every workload compiled to the same
+        layout — share one column extraction.  The cache holds the last few
+        distinct layouts (FIFO, bounded so one stream serving many workloads
+        cannot retain unbounded column copies) and is invalidated by
+        :meth:`append`/:meth:`extend`.
+        """
+        cached = self._columnar_cache.get(layout)
+        if cached is None:
+            from .columnar import ColumnarBatch
+
+            interner: dict[tuple, tuple] = {}
+            cached = [
+                ColumnarBatch.from_events(timestamp, batch, layout, interner)
+                for timestamp, batch in timestamp_batches(self._events)
+            ]
+            while len(self._columnar_cache) >= _COLUMNAR_CACHE_LIMIT:
+                self._columnar_cache.pop(next(iter(self._columnar_cache)))
+            self._columnar_cache[layout] = cached
+        return cached
 
     # -- views ---------------------------------------------------------------
     def events(self) -> tuple[Event, ...]:

@@ -38,6 +38,9 @@ class ASeqExecutor:
         Run the engine in pane-partitioned mode (each event processed once
         per pane instead of once per covering window instance); tumbling
         windows fall back to the per-instance loop automatically.
+    columnar:
+        Route ingestion through columnar micro-batches (on by default);
+        ``False`` selects the scalar per-event reference path.
     """
 
     name = "A-Seq"
@@ -47,6 +50,7 @@ class ASeqExecutor:
         workload: Workload,
         memory_sample_interval: int = 0,
         panes: bool = False,
+        columnar: bool = True,
     ) -> None:
         self.workload = workload
         self._engine = StreamingEngine(
@@ -55,6 +59,7 @@ class ASeqExecutor:
             name=self.name,
             memory_sample_interval=memory_sample_interval,
             panes=panes,
+            columnar=columnar,
         )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

@@ -39,12 +39,13 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..core.plan import QueryDecomposition, SharingPlan
+from ..events.columnar import ColumnLayout, ColumnarBatch, columnar_batches
 from ..events.event import Event
 from ..events.stream import EventStream, timestamp_batches
-from ..events.windows import SlidingWindow, WindowInstance
+from ..events.windows import SlidingWindow, WindowCursor, WindowInstance
 from ..queries.aggregates import AggregateSpec
 from ..queries.pattern import Pattern
-from ..queries.predicates import PredicateSet
+from ..queries.predicates import PredicateSet, compile_filter_kernel
 from ..queries.query import Query
 from ..queries.workload import Workload
 from .chained import QueryChainState, stage_event_types
@@ -138,11 +139,62 @@ class CompiledWorkload:
             event_type: tuple(names) for event_type, names in chain_index.items()
         }
 
+        #: Columnar routing: which columns batches must carry for this
+        #: workload (relevant types interned to ids, attributes read by
+        #: filters and aggregates, partition attributes), plus the filter
+        #: conjunction compiled once into a batch kernel.
+        read_attributes: set[str] = {f.attribute for f in self.predicates.filters}
+        for query in workload:
+            read_attributes.update(query.aggregate.read_attributes)
+        self.layout = ColumnLayout(
+            types=tuple(sorted(self.relevant_types)),
+            attributes=tuple(sorted(read_attributes)),
+            partition=self.partition_attributes,
+        )
+        self.filter_kernel = compile_filter_kernel(
+            self.predicates.filters, self.layout.type_id
+        )
+
     def group_key(self, event: Event) -> tuple:
         return tuple(event.attribute(attr) for attr in self.partition_attributes)
 
     def is_relevant(self, event: Event) -> bool:
         return event.event_type in self.relevant_types and self.predicates.accepts(event)
+
+    def route_columnar(
+        self, batch: ColumnarBatch
+    ) -> "tuple[int, dict[tuple, list[Event]] | None]":
+        """Route one columnar batch to per-group row sub-batches.
+
+        Returns ``(relevant_count, groups)`` where ``groups`` maps each group
+        key to its relevant events in batch order (``None`` when nothing
+        survives).  Type dispatch starts from the batch's precomputed
+        type-relevance selection (interned ids, derived at ingestion), the
+        filter conjunction runs as one compiled kernel over index
+        selections, and group keys come pre-interned from the batch — the
+        per-event routing work of :meth:`is_relevant`/:meth:`group_key`
+        collapses into a few column passes over the surviving rows.
+        """
+        indices = batch.relevant
+        kernel = self.filter_kernel
+        if kernel is not None and indices:
+            indices = kernel(batch, indices)
+        if not indices:
+            return 0, None
+        events = batch.events
+        keys = batch.group_keys
+        if keys is None:
+            return len(indices), {(): [events[i] for i in indices]}
+        groups: dict[tuple, list[Event]] = {}
+        for i in indices:
+            key = keys[i]
+            event = events[i]
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [event]
+            else:
+                group.append(event)
+        return len(indices), groups
 
 
 class WindowGroupScope:
@@ -265,6 +317,19 @@ class StreamingEngine:
     covering window instance.  Ineligible workloads (tumbling windows, where
     per-instance processing already touches each event once) silently fall
     back to the per-instance loop, so the toggle is always safe to set.
+
+    With ``columnar=True`` (the default) ingestion runs in **columnar
+    micro-batch** mode: timestamp batches arrive as struct-of-arrays
+    (:class:`~repro.events.columnar.ColumnarBatch`, cached per layout on
+    in-memory :class:`~repro.events.stream.EventStream`\\ s), type dispatch
+    compares interned type ids, the workload's filter predicates run as one
+    compiled batch kernel over index selections, and group routing consumes
+    pre-interned keys.  ``columnar=False`` selects the scalar per-event
+    reference path; both produce identical results (the differential grids
+    pin columnar ≡ scalar ≡ oracle) and compose with ``panes``/
+    ``compaction``.  Either way, window-instance membership is tracked by a
+    :class:`~repro.events.windows.WindowCursor` — amortised O(1) per batch —
+    instead of re-deriving ``instances_containing`` per event.
     """
 
     def __init__(
@@ -275,6 +340,7 @@ class StreamingEngine:
         memory_sample_interval: int = 0,
         compaction: bool = True,
         panes: bool = False,
+        columnar: bool = True,
     ) -> None:
         self.workload = workload
         self.compaction = compaction
@@ -282,6 +348,9 @@ class StreamingEngine:
         self.name = name
         self.memory_sample_interval = memory_sample_interval
         self.panes = panes
+        #: Whether ingestion routes through columnar micro-batches (the
+        #: default); ``False`` selects the scalar per-event reference path.
+        self.columnar = columnar
 
     def set_plan(self, plan: SharingPlan) -> None:
         """Switch to ``plan`` for scopes created from now on (plan migration)."""
@@ -337,40 +406,71 @@ class StreamingEngine:
         scopes: dict[WindowInstance, dict[tuple, WindowGroupScope]] = {}
         #: Retired scopes available for reuse under the current compiled workload.
         pool: list[WindowGroupScope] = []
+        #: Scope index: the window instances containing the (monotone) batch
+        #: timestamp, maintained incrementally instead of re-derived per event.
+        cursor = WindowCursor(self.compiled.window)
 
         collector.start()
 
-        for timestamp, batch in timestamp_batches(stream):
+        for timestamp, batch, groups in self._routed_batches(stream, collector):
             self._finalize_expired(scopes, timestamp, results, collector, pool)
 
-            compiled = self.compiled
-            #: Per-scope sub-batches of relevant events.
-            routed: dict[tuple[WindowInstance, tuple], list[Event]] = {}
-            for event in batch:
-                relevant = compiled.is_relevant(event)
-                collector.count_event(relevant)
-                if not relevant:
-                    continue
-                group = compiled.group_key(event)
-                for window in compiled.window.instances_containing(event.timestamp):
-                    routed.setdefault((window, group), []).append(event)
-
-            for (window, group), scope_events in routed.items():
-                group_scopes = scopes.setdefault(window, {})
-                scope = group_scopes.get(group)
-                if scope is None:
-                    scope = self._acquire_scope(pool, compiled, window, group)
-                    group_scopes[group] = scope
-                scope.process_batch(scope_events)
+            if groups:
+                compiled = self.compiled
+                windows = cursor.advance(timestamp)
+                for group, group_events in groups.items():
+                    for window in windows:
+                        group_scopes = scopes.setdefault(window, {})
+                        scope = group_scopes.get(group)
+                        if scope is None:
+                            scope = self._acquire_scope(pool, compiled, window, group)
+                            group_scopes[group] = scope
+                        scope.process_batch(group_events)
 
             if on_batch is not None:
                 collector.stop()
-                on_batch(timestamp, batch)
+                # Columnar batches alias the stream's per-layout cache; hand
+                # callbacks a copy so a mutating observer cannot corrupt it.
+                on_batch(timestamp, list(batch) if self.columnar else batch)
                 collector.start()
 
         self._finalize_expired(scopes, None, results, collector, pool)
         metrics = collector.finish()
         return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
+
+    # -- batch routing ------------------------------------------------------------
+    def _routed_batches(self, stream, collector: MetricsCollector):
+        """Yield ``(timestamp, batch_events, groups)`` for every timestamp batch.
+
+        ``groups`` maps each group key to the batch's relevant events (in
+        batch order), or is ``None``/empty when nothing survives routing.  In
+        columnar mode the stream arrives as struct-of-arrays micro-batches
+        and routing runs as compiled column kernels
+        (:meth:`CompiledWorkload.route_columnar`); in scalar mode every event
+        passes through :meth:`CompiledWorkload.is_relevant`/:meth:`group_key`
+        individually.  ``self.compiled`` is re-read per batch so plan
+        migration (:meth:`set_plan`, driven from ``on_batch``) takes effect
+        mid-run in both modes.
+        """
+        if self.columnar:
+            for batch in columnar_batches(stream, self.compiled.layout):
+                collector.total_events += batch.size
+                collector.columnar_batches += 1
+                count, groups = self.compiled.route_columnar(batch)
+                collector.relevant_events += count
+                yield batch.timestamp, batch.events, groups
+        else:
+            for timestamp, batch in timestamp_batches(stream):
+                compiled = self.compiled
+                groups: "dict[tuple, list[Event]] | None" = None
+                for event in batch:
+                    relevant = compiled.is_relevant(event)
+                    collector.count_event(relevant)
+                    if relevant:
+                        if groups is None:
+                            groups = {}
+                        groups.setdefault(compiled.group_key(event), []).append(event)
+                yield timestamp, batch, groups
 
     # -- pane-partitioned mode ----------------------------------------------------
     def _run_panes(self, stream, on_batch) -> ExecutionReport:
@@ -385,9 +485,8 @@ class StreamingEngine:
         across overlapping window instances (and across queries with equal
         (pattern, aggregate) pairs) structurally.
         """
-        compiled = self.compiled
         pane_compiled = CompiledPaneWorkload(self.workload)
-        pane_width = compiled.window.pane_width
+        pane_width = self.compiled.window.pane_width
         collector = MetricsCollector(
             executor_name=self.name, memory_sample_interval=self.memory_sample_interval
         )
@@ -399,7 +498,7 @@ class StreamingEngine:
         accumulators: dict[WindowInstance, dict[tuple, WindowPaneAccumulator]] = {}
 
         collector.start()
-        for timestamp, batch in timestamp_batches(stream):
+        for timestamp, batch, groups in self._routed_batches(stream, collector):
             pane_index = timestamp // pane_width
             if open_pane_index is not None and pane_index != open_pane_index:
                 self._close_pane(open_pane_index, open_pane_scopes, accumulators, collector)
@@ -407,15 +506,9 @@ class StreamingEngine:
                 open_pane_index = None
             self._finalize_panes_expired(accumulators, timestamp, results, collector)
 
-            routed: dict[tuple, list[Event]] = {}
-            for event in batch:
-                relevant = compiled.is_relevant(event)
-                collector.count_event(relevant)
-                if relevant:
-                    routed.setdefault(compiled.group_key(event), []).append(event)
-            if routed:
+            if groups:
                 open_pane_index = pane_index
-                for group, scope_events in routed.items():
+                for group, scope_events in groups.items():
                     scope = open_pane_scopes.get(group)
                     if scope is None:
                         scope = PaneScope(pane_compiled, pane_index, group)
@@ -425,7 +518,9 @@ class StreamingEngine:
 
             if on_batch is not None:
                 collector.stop()
-                on_batch(timestamp, batch)
+                # Same aliasing caveat as the per-instance loop: cached
+                # columnar batches must not leak to mutating observers.
+                on_batch(timestamp, list(batch) if self.columnar else batch)
                 collector.start()
 
         if open_pane_index is not None:

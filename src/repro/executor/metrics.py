@@ -44,6 +44,9 @@ class RunMetrics:
     #: (pane-partitioned engine mode only; zero in per-instance mode).
     panes_created: int = 0
     pane_merges: int = 0
+    #: Timestamp batches routed through the columnar micro-batch path
+    #: (zero when the engine ran with ``columnar=False``).
+    columnar_batches: int = 0
 
     @property
     def events_per_pane(self) -> float:
@@ -96,6 +99,7 @@ class MetricsCollector:
     cohorts_merged: int = 0
     panes_created: int = 0
     pane_merges: int = 0
+    columnar_batches: int = 0
     _memory: PeakMemoryTracker = field(default_factory=PeakMemoryTracker)
     _started_at: float | None = None
     _elapsed: float = 0.0
@@ -154,4 +158,5 @@ class MetricsCollector:
             cohorts_merged=self.cohorts_merged,
             panes_created=self.panes_created,
             pane_merges=self.pane_merges,
+            columnar_batches=self.columnar_batches,
         )

@@ -49,11 +49,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from array import array
+
 from ..events.event import Event
 from ..queries.aggregates import AggregateSpec, AggregateState, AggregationKind
 from ..queries.pattern import Pattern
 from ..queries.workload import Workload
-from .prefix_agg import group_by_position, positions_by_type
+from .prefix_agg import _I64_MAX, group_by_position, positions_by_type
 
 __all__ = [
     "PaneCountMatrix",
@@ -76,8 +78,12 @@ class PaneCountMatrix:
 
     ``cells[j][i]`` (``i <= j``) is the number of matches of pattern
     positions ``i..j`` wholly inside the pane.  A COUNT(*) aggregate state is
-    determined by its sequence count, so cells are plain ``int``s and both the
-    batch update and the window fold are integer arithmetic.
+    determined by its sequence count, so cells are machine integers —
+    ``array('q')`` rows — and both the batch update and the window fold are
+    integer arithmetic.  Like the cohort count columns, a row promotes to a
+    plain Python list (exact big-int arithmetic) the moment a count would
+    pass ``2**63 - 1``; the prefix *vectors* are Python lists and unbounded
+    by construction.
     """
 
     __slots__ = ("length", "cells", "updates")
@@ -85,7 +91,9 @@ class PaneCountMatrix:
     def __init__(self, pattern: Pattern, spec: AggregateSpec) -> None:
         self.length = len(pattern)
         #: cells[j] has j+1 entries: cells[j][i] = T[i][j+1] for i <= j.
-        self.cells: list[list[int]] = [[0] * (j + 1) for j in range(self.length)]
+        self.cells: list["array | list[int]"] = [
+            array("q", bytes(8 * (j + 1))) for j in range(self.length)
+        ]
         self.updates = 0
 
     def apply_batch(self, by_position: dict[int, list[Event]], spec: AggregateSpec) -> None:
@@ -102,10 +110,16 @@ class PaneCountMatrix:
                 base = cells[position - 1]
                 for i in range(position):
                     if base[i]:
-                        column[i] += k * base[i]
+                        updated = column[i] + k * base[i]
+                        if updated > _I64_MAX and not isinstance(column, list):
+                            column = cells[position] = list(column)
+                        column[i] = updated
                         self.updates += k
             # A batch event also starts a fresh sub-match at its own position.
-            column[position] += k
+            updated = column[position] + k
+            if updated > _I64_MAX and not isinstance(column, list):
+                column = cells[position] = list(column)
+            column[position] = updated
             self.updates += k
 
     def new_vector(self) -> list[int]:

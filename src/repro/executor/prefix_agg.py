@@ -36,8 +36,9 @@ Two further optimisations keep long-lived scopes cheap:
   :meth:`~repro.queries.aggregates.AggregateSpec.summarise_batch` summary and
   applied to the whole column in a single pass (a batch add of the staged
   deltas), instead of per-event ``extend``/``merge`` object churn.  COUNT(*)
-  columns degenerate to plain integer lists (:class:`_CountColumns`), the
-  paper's common case.
+  columns degenerate to flat ``array('q')`` machine-int columns
+  (:class:`_CountColumns`, promoting to exact Python ints past ``2**63-1``),
+  the paper's common case.
 * **Cohort compaction** (:meth:`SharedSegmentState.compact`) — cohorts whose
   carries have become element-wise identical in *every* registered
   :class:`~repro.executor.chained.SharedSegmentRunner` are merged, so a scope
@@ -60,6 +61,7 @@ strictly increasing timestamps).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -90,6 +92,13 @@ _MIN_COMPACT_COHORTS = 8
 #: A batch reduced per (spec, position): (k, targeted, total, min, max) —
 #: the argument tuple of AggregateState.extend_many.
 _BatchSummary = tuple[int, int, float, "float | None", "float | None"]
+
+#: Largest count storable in an ``array('q')`` cell.  Count columns live in
+#: machine-int arrays (8 bytes per cohort, C-layout for future kernels) and
+#: promote to plain Python lists the moment a count would pass this bound —
+#: prefix counts grow multiplicatively, so overflow is reachable on dense
+#: streams and must degrade to exact big-int arithmetic, never wrap.
+_I64_MAX = 2**63 - 1
 
 
 def positions_by_type(pattern: Pattern) -> dict[str, tuple[int, ...]]:
@@ -271,23 +280,44 @@ class _StateColumns:
 
 
 class _CountColumns:
-    """COUNT(*) fast path: flat integer columns.
+    """COUNT(*) fast path: flat 64-bit integer columns.
 
     A COUNT(*) aggregate state is fully determined by its sequence count
     (``extend`` is the identity for it), so the column cells are plain
-    ``int``s and the batch update is integer arithmetic over flat lists —
+    machine integers — ``array('q')`` storage (8 bytes per cohort, contiguous
+    C layout) with the batch update as integer arithmetic over whole columns,
     no ``AggregateState`` allocation on the hot path.
+
+    Prefix counts compound multiplicatively (every batch multiplies a base
+    count by its event count), so a column can legitimately outgrow a signed
+    64-bit cell.  Each column therefore *promotes* to a plain Python list —
+    exact big-int arithmetic — the moment a stored value would pass
+    ``2**63 - 1``; results are identical either side of the switch, only the
+    storage width changes.  :meth:`clear` re-arms the compact representation
+    for pooled reuse.
     """
 
     __slots__ = ("columns",)
 
     def __init__(self, length: int) -> None:
-        self.columns: list[list[int]] = [[] for _ in range(length)]
+        self.columns: list["array | list[int]"] = [array("q") for _ in range(length)]
+
+    def _promoted(self, position: int) -> list[int]:
+        """Switch one column to unbounded Python ints (idempotent)."""
+        column = self.columns[position]
+        if not isinstance(column, list):
+            column = list(column)
+            self.columns[position] = column
+        return column
 
     def append_cohort(self, initial: AggregateState) -> None:
-        self.columns[0].append(initial.count)
-        for column in self.columns[1:]:
-            column.append(0)
+        count = initial.count
+        first = self.columns[0]
+        if count > _I64_MAX and not isinstance(first, list):
+            first = self._promoted(0)
+        first.append(count)
+        for position in range(1, len(self.columns)):
+            self.columns[position].append(0)
 
     def state_at(self, position: int, cohort: int) -> AggregateState:
         count = self.columns[position][cohort]
@@ -309,7 +339,10 @@ class _CountColumns:
                 if not base_count:
                     continue
                 added = k * base_count
-                column[cohort] += added
+                updated = column[cohort] + added
+                if updated > _I64_MAX and not isinstance(column, list):
+                    column = self._promoted(position)
+                column[cohort] = updated
                 deltas.append((cohort, AggregateState(count=added)))
                 touched += 1
             return deltas, touched * k
@@ -317,17 +350,31 @@ class _CountColumns:
         for cohort, base_count in enumerate(base):
             if not base_count:
                 continue
-            column[cohort] += k * base_count
+            updated = column[cohort] + k * base_count
+            if updated > _I64_MAX and not isinstance(column, list):
+                column = self._promoted(position)
+            column[cohort] = updated
             touched += 1
         return None, touched * k
 
     def merge_cohorts(self, groups: Sequence[Sequence[int]]) -> None:
-        for column in self.columns:
-            column[:] = [sum(column[cohort] for cohort in group) for group in groups]
+        for position, column in enumerate(self.columns):
+            merged = [sum(column[cohort] for cohort in group) for group in groups]
+            if isinstance(column, list):
+                column[:] = merged
+            else:
+                try:
+                    self.columns[position] = array("q", merged)
+                except OverflowError:
+                    self.columns[position] = merged
 
     def clear(self) -> None:
-        for column in self.columns:
-            column.clear()
+        columns = self.columns
+        for position, column in enumerate(columns):
+            if isinstance(column, list):
+                columns[position] = array("q")
+            else:
+                del column[:]
 
 
 def _make_columns(spec: AggregateSpec, length: int) -> "_CountColumns | _StateColumns":

@@ -51,6 +51,12 @@ class SharonExecutor:
         window instance; see :mod:`repro.executor.panes`).  Off by default;
         ineligible workloads (tumbling windows) fall back to the
         per-instance loop automatically.
+    columnar:
+        Route ingestion through columnar micro-batches (interned type-id
+        dispatch, compiled predicate kernels, pre-interned group keys; see
+        :mod:`repro.events.columnar`).  On by default; ``False`` selects the
+        scalar per-event reference path, which the differential suites pin
+        against the columnar one.
     """
 
     name = "Sharon"
@@ -63,6 +69,7 @@ class SharonExecutor:
         memory_sample_interval: int = 0,
         compaction: bool = True,
         panes: bool = False,
+        columnar: bool = True,
     ) -> None:
         if plan is None:
             if rates is None:
@@ -77,6 +84,7 @@ class SharonExecutor:
             memory_sample_interval=memory_sample_interval,
             compaction=compaction,
             panes=panes,
+            columnar=columnar,
         )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

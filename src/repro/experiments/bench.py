@@ -18,16 +18,26 @@ future sessions can diff:
 * **Pane sharing** — the small-slide regime (overlap factor 20) where the
   pane-partitioned engine mode must beat per-instance fan-out; recorded as
   the ``pane_sharing`` section.
+* **Columnar routing** — the routing-bound regime (many event types, many
+  groups, highly selective predicates: per-event routing overhead dominates)
+  where columnar micro-batch ingestion must beat the scalar per-event path;
+  recorded as the ``columnar_routing`` section.  Best-of-N, so the columnar
+  side is measured warm — the stream's per-layout column cache is built on
+  the first run, which is the ingestion cost model of a columnar source
+  (columns are extracted once, however many runs or workloads consume them).
 
 Run it with ``python -m repro bench`` (or ``make bench``), or through pytest
 via ``benchmarks/test_engine_throughput.py`` which asserts the scaling,
-sharing, compaction, and pane properties on the same records.
+sharing, compaction, pane, and columnar-routing properties on the same
+records.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import random
 import statistics
 import time
 from dataclasses import asdict, dataclass
@@ -42,6 +52,7 @@ from ..events.windows import SlidingWindow
 from ..executor.aseq import ASeqExecutor
 from ..executor.shared import SharonExecutor
 from ..queries.pattern import Pattern
+from ..queries.predicates import FilterPredicate, PredicateSet
 from ..queries.query import Query
 from ..queries.workload import Workload
 from ..utils.rates import RateCatalog
@@ -50,16 +61,23 @@ __all__ = [
     "BenchRecord",
     "CohortCompactionRecord",
     "PaneSharingRecord",
+    "ColumnarRoutingRecord",
     "SCALE_FACTORS",
     "scaling_scenario",
     "dense_sharing_scenario",
     "long_window_scenario",
     "small_slide_scenario",
+    "routing_scenario",
     "run_engine_benchmark",
     "run_compaction_benchmark",
     "run_pane_benchmark",
+    "run_routing_benchmark",
     "write_bench_json",
 ]
+
+#: Best-of-N sample count of the columnar-routing section (overridable via
+#: the ``COLUMNAR_BENCH_REPEATS`` environment variable / Makefile knob).
+COLUMNAR_BENCH_REPEATS = int(os.environ.get("COLUMNAR_BENCH_REPEATS", "5"))
 
 #: Stream-scale multipliers exercised by the scaling scenarios.
 SCALE_FACTORS: tuple[int, ...] = (1, 4, 16)
@@ -137,6 +155,33 @@ class PaneSharingRecord:
     events_per_pane: float
     panes_on_events_per_sec: float
     panes_off_events_per_sec: float
+    samples: int = 1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ColumnarRoutingRecord:
+    """The columnar-routing section of ``BENCH_engine.json``.
+
+    Captures, on the routing-bound scenario (many event types × many groups ×
+    highly selective predicates, so per-event routing overhead dominates the
+    run), the engine throughput with columnar micro-batch ingestion on vs off
+    plus the routing shape counters — the machine-checked statement that
+    compiled column kernels beat the scalar per-event path exactly where
+    routing is the bottleneck.
+    """
+
+    scenario: str
+    events: int
+    event_types: int
+    pattern_event_types: int
+    groups: int
+    relevant_fraction: float
+    columnar_batches: int
+    columnar_on_events_per_sec: float
+    columnar_off_events_per_sec: float
     samples: int = 1
 
     def to_json(self) -> dict:
@@ -276,6 +321,69 @@ def small_slide_scenario(
         name="small-slide",
     )
     return workload, stream
+
+
+def routing_scenario(
+    num_event_types: int = 64,
+    num_pattern_types: int = 4,
+    num_queries: int = 6,
+    pattern_length: int = 3,
+    num_entities: int = 8,
+    events_per_second: float = 200.0,
+    duration: int = 90,
+    value_range: int = 100,
+    filter_threshold: int = 97,
+    window: SlidingWindow | None = None,
+    seed: int = 61,
+) -> tuple[Workload, EventStream]:
+    """Routing-bound regime: per-event dispatch dominates, aggregation is tiny.
+
+    Only ``num_pattern_types`` of the ``num_event_types`` stream types appear
+    in any pattern, and the shared filter predicate passes just
+    ``(value_range - 1 - filter_threshold) / value_range`` of the remaining
+    events (~2% by default), so virtually every event's cost *is* the routing
+    decision: type dispatch, predicate evaluation, group-key construction,
+    and metric counting.  This is the regime the columnar micro-batch path
+    exists for — the scalar loop pays per-event Python calls for each of
+    those steps, the columnar loop replaces them with a precomputed
+    type-relevance selection, one compiled filter kernel pass, and
+    pre-interned group keys.
+    """
+    rng = random.Random(seed)
+    pattern_types = [f"T{i}" for i in range(num_pattern_types)]
+    all_types = [f"T{i}" for i in range(num_event_types)]
+    window = window if window is not None else SlidingWindow(size=40, slide=20)
+    predicates = PredicateSet(
+        equivalences=PredicateSet.same("entity").equivalences,
+        filters=[FilterPredicate("value", ">", filter_threshold)],
+    )
+    queries = [
+        Query(
+            Pattern(tuple(rng.sample(pattern_types, pattern_length))),
+            window,
+            predicates=predicates,
+            name=f"rt{index}",
+        )
+        for index in range(num_queries)
+    ]
+    workload = Workload(queries, name="columnar-routing")
+    events = []
+    event_id = 0
+    for timestamp in range(duration):
+        for _ in range(int(events_per_second)):
+            events.append(
+                Event(
+                    rng.choice(all_types),
+                    timestamp,
+                    {
+                        "entity": rng.randrange(num_entities),
+                        "value": rng.randrange(value_range),
+                    },
+                    event_id,
+                )
+            )
+            event_id += 1
+    return workload, EventStream(events, name="columnar-routing")
 
 
 def _timed_run(executor, stream: EventStream, repeats: int):
@@ -425,11 +533,56 @@ def run_pane_benchmark(repeats: int = 3) -> PaneSharingRecord:
     )
 
 
+def run_routing_benchmark(repeats: int = COLUMNAR_BENCH_REPEATS) -> ColumnarRoutingRecord:
+    """Measure columnar micro-batch ingestion on the routing-bound scenario.
+
+    Runs the same workload with the columnar path on and off (scalar
+    per-event reference), refuses to record a throughput if the two modes
+    disagree on any result, and reports the routing shape counters of the
+    on-run next to both throughputs.  Best-of-``repeats``: the columnar side
+    is measured warm (the stream's column cache is built once, on the first
+    run), matching the once-per-stream ingestion cost of a columnar source.
+    """
+    workload, stream = routing_scenario()
+    total = len(stream)
+
+    on_report, on_best, _ = _timed_run(
+        SharonExecutor(workload, plan=SharingPlan(), columnar=True), stream, repeats
+    )
+    off_report, off_best, _ = _timed_run(
+        SharonExecutor(workload, plan=SharingPlan(), columnar=False), stream, repeats
+    )
+    if not on_report.results.matches(off_report.results):
+        raise RuntimeError(
+            "columnar routing changed the routing-bound benchmark results; "
+            "refusing to record its throughput"
+        )
+    metrics = on_report.metrics
+    pattern_types = {
+        event_type for query in workload for event_type in query.pattern.event_types
+    }
+    return ColumnarRoutingRecord(
+        scenario="columnar-routing",
+        events=total,
+        event_types=len(stream.event_types()),
+        pattern_event_types=len(pattern_types),
+        groups=len({event.attribute("entity") for event in stream}),
+        relevant_fraction=round(metrics.relevant_events / max(metrics.total_events, 1), 5),
+        columnar_batches=metrics.columnar_batches,
+        columnar_on_events_per_sec=round(total / on_best if on_best > 0 else float(total), 1),
+        columnar_off_events_per_sec=round(
+            total / off_best if off_best > 0 else float(total), 1
+        ),
+        samples=repeats,
+    )
+
+
 def write_bench_json(
     records: list[BenchRecord],
     path: "str | Path" = DEFAULT_BENCH_PATH,
     compaction: "CohortCompactionRecord | None" = None,
     pane_sharing: "PaneSharingRecord | None" = None,
+    columnar_routing: "ColumnarRoutingRecord | None" = None,
 ) -> Path:
     """Write the records as the machine-readable ``BENCH_engine.json``."""
     payload = {
@@ -441,6 +594,8 @@ def write_bench_json(
         payload["cohort_compaction"] = compaction.to_json()
     if pane_sharing is not None:
         payload["pane_sharing"] = pane_sharing.to_json()
+    if columnar_routing is not None:
+        payload["columnar_routing"] = columnar_routing.to_json()
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

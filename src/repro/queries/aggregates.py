@@ -104,6 +104,11 @@ class AggregateSpec:
         return cls(AggregationKind.AVG, event_type, attribute)
 
     @property
+    def read_attributes(self) -> tuple[str, ...]:
+        """Attributes this aggregate reads from events (column-layout input)."""
+        return (self.attribute,) if self.attribute is not None else ()
+
+    @property
     def tracks_attribute(self) -> bool:
         """Whether the aggregate needs per-event attribute tracking."""
         return self.kind in (

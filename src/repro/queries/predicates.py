@@ -28,6 +28,7 @@ __all__ = [
     "FilterPredicate",
     "PredicateSet",
     "COMPARATORS",
+    "compile_filter_kernel",
 ]
 
 
@@ -153,3 +154,84 @@ class PredicateSet:
 
 #: Shared immutable instance for queries without a WHERE clause.
 PredicateSet.EMPTY = PredicateSet()  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# batch kernels (columnar predicate evaluation)
+# ---------------------------------------------------------------------------
+
+#: A batch kernel maps (columnar batch, candidate row indices) to the indices
+#: that survive the compiled filters.  Kernels never re-touch Event objects.
+BatchKernel = Callable[[Any, Sequence[int]], "list[int]"]
+
+
+def _compile_one_filter(
+    predicate: FilterPredicate, type_id_of: Callable[[str], int]
+) -> "BatchKernel | None":
+    """Compile one filter into an index-selection kernel over batch columns.
+
+    Semantics mirror :meth:`FilterPredicate.matches` exactly: a type-restricted
+    filter passes every event of other types, and a missing attribute
+    (``None`` cell) fails the comparison.  Returns ``None`` when the filter is
+    restricted to a type the layout does not carry — no routed event can be of
+    that type, so the filter passes everything and compiles away.
+    """
+    comparator = COMPARATORS[predicate.op]
+    constant = predicate.value
+    attribute = predicate.attribute
+    if predicate.event_type is None:
+
+        def kernel(batch, indices):
+            values = batch.columns[attribute]
+            return [
+                i for i in indices
+                if (v := values[i]) is not None and comparator(v, constant)
+            ]
+
+        return kernel
+
+    type_id = type_id_of(predicate.event_type)
+    if type_id < 0:
+        return None
+
+    def kernel(batch, indices):
+        type_ids = batch.type_ids
+        values = batch.columns[attribute]
+        return [
+            i for i in indices
+            if type_ids[i] != type_id
+            or ((v := values[i]) is not None and comparator(v, constant))
+        ]
+
+    return kernel
+
+
+def compile_filter_kernel(
+    filters: Iterable[FilterPredicate], type_id_of: Callable[[str], int]
+) -> "BatchKernel | None":
+    """Compile a filter conjunction into one batch kernel, once per workload.
+
+    The engine's columnar mode calls the kernel with each batch's candidate
+    row indices (already restricted to pattern-relevant types); per-filter
+    re-dispatch, per-event method calls, and ``Event.attribute`` lookups all
+    happen here exactly once, at compile time.  Returns ``None`` when no
+    filter survives compilation (the selection is a no-op).
+    """
+    kernels = [
+        kernel
+        for predicate in filters
+        if (kernel := _compile_one_filter(predicate, type_id_of)) is not None
+    ]
+    if not kernels:
+        return None
+    if len(kernels) == 1:
+        return kernels[0]
+
+    def chained(batch, indices):
+        for kernel in kernels:
+            if not indices:
+                break
+            indices = kernel(batch, indices)
+        return indices
+
+    return chained

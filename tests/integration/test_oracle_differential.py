@@ -3,9 +3,10 @@
 :func:`repro.datasets.random_scenario` draws randomized scenarios over a grid
 of window/slide/group/predicate/aggregate/pattern combinations; this module
 replays each of them through the optimised executors — Sharon (shared online,
-cohort compaction on, in both per-instance and pane-partitioned mode), A-Seq
-(non-shared online), and the two-step baselines (Flink-like, SPASS-like) —
-and compares every result against the deliberately naive
+cohort compaction on, in both per-instance and pane-partitioned mode and with
+columnar micro-batch ingestion on *and* off), A-Seq (non-shared online, both
+ingestion modes), and the two-step baselines (Flink-like, SPASS-like) — and
+compares every result against the deliberately naive
 :class:`repro.executor.OracleExecutor`.
 
 A second, pane-targeted grid replays scenarios drawn from the pane-stressing
@@ -61,11 +62,18 @@ def deterministic_plan(workload: Workload, seed: int) -> SharingPlan:
 
 
 def executors_under_test(workload: Workload, seed: int):
-    """The optimised executors, freshly constructed per evaluation."""
+    """The optimised executors, freshly constructed per evaluation.
+
+    ``Sharon``/``A-Seq``/``Sharon-panes`` run with the default *columnar*
+    micro-batch ingestion; the ``-scalar`` variants pin the per-event
+    reference path, so the grid certifies columnar ≡ scalar ≡ oracle.
+    """
     plan = deterministic_plan(workload, seed)
     return (
         ("A-Seq", ASeqExecutor(workload)),
+        ("A-Seq-scalar", ASeqExecutor(workload, columnar=False)),
         ("Sharon", SharonExecutor(workload, plan=plan)),
+        ("Sharon-scalar", SharonExecutor(workload, plan=plan, columnar=False)),
         ("Sharon-panes", SharonExecutor(workload, plan=plan, panes=True)),
         ("Flink-like", FlinkLikeExecutor(workload)),
         ("SPASS-like", SpassLikeExecutor(workload)),
@@ -73,10 +81,16 @@ def executors_under_test(workload: Workload, seed: int):
 
 
 def pane_executors_under_test(workload: Workload, seed: int):
-    """Both pane modes of the engine (the pane-stress grid's executor set)."""
+    """Both pane modes of the engine (the pane-stress grid's executor set).
+
+    Pane mode is replayed with columnar ingestion on *and* off: the pane
+    loop routes through the same micro-batch layer, so the stress grid pins
+    the pane × columnar combination exactly where panes are most fragile.
+    """
     plan = deterministic_plan(workload, seed)
     return (
         ("Sharon-panes-on", SharonExecutor(workload, plan=plan, panes=True)),
+        ("Sharon-panes-scalar", SharonExecutor(workload, plan=plan, panes=True, columnar=False)),
         ("Sharon-panes-off", SharonExecutor(workload, plan=plan, panes=False)),
         ("A-Seq-panes-on", ASeqExecutor(workload, panes=True)),
     )

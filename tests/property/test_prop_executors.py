@@ -185,6 +185,57 @@ def test_pane_and_compaction_toggles_commute(workload, stream, plan_seed):
             )
 
 
+@settings(max_examples=20, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_columnar_ingestion_is_semantics_preserving(workload, stream, plan_seed):
+    """Columnar and scalar ingestion produce identical results on any stream.
+
+    Columnar mode only changes *how* events are routed (interned type ids,
+    compiled predicate kernels, pre-interned group keys); the per-scope
+    aggregation consumes the same sub-batches in the same order, so results
+    must be bit-for-bit the scalar ones — and both must equal the oracle.
+    """
+    plan = random_valid_plan(workload, plan_seed)
+    columnar = SharonExecutor(workload, plan=plan, columnar=True).run(stream).results
+    scalar = SharonExecutor(workload, plan=plan, columnar=False).run(stream).results
+    assert columnar.matches(scalar), (list(plan), columnar.differences(scalar)[:5])
+    oracle = FlinkLikeExecutor(workload).run(stream).results
+    assert columnar.matches(oracle), (list(plan), columnar.differences(oracle)[:5])
+
+
+@settings(max_examples=12, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_columnar_pane_compaction_toggle_cube_agrees(workload, stream, plan_seed):
+    """The full columnar × panes × compaction 2×2×2 cube collapses to one answer.
+
+    The three optimisations are independent: columnar mode changes batch
+    *routing*, panes change scope *ownership*, compaction shrinks cohort
+    *sets*.  No combination of toggles may change a result, and the shared
+    answer must equal the brute-force oracle.
+    """
+    plan = random_valid_plan(workload, plan_seed)
+    oracle = FlinkLikeExecutor(workload).run(stream).results
+    for columnar in (False, True):
+        for panes in (False, True):
+            for compaction in (False, True):
+                results = (
+                    SharonExecutor(
+                        workload,
+                        plan=plan,
+                        columnar=columnar,
+                        panes=panes,
+                        compaction=compaction,
+                    )
+                    .run(stream)
+                    .results
+                )
+                assert results.matches(oracle), (
+                    list(plan),
+                    (columnar, panes, compaction),
+                    results.differences(oracle)[:5],
+                )
+
+
 @settings(max_examples=25, deadline=None)
 @given(workloads(), streams())
 def test_empty_and_full_plans_agree(workload, stream):

@@ -1,0 +1,309 @@
+"""Unit tests for the columnar micro-batch ingestion layer.
+
+Covers the struct-of-arrays batch representation (`repro.events.columnar`),
+the per-layout cache on `EventStream`, the compiled predicate kernels, and
+`CompiledWorkload.route_columnar` — each pinned against its scalar
+reference implementation on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.events import (
+    ColumnLayout,
+    ColumnarBatch,
+    Event,
+    EventStream,
+    SlidingWindow,
+    columnar_batches,
+)
+from repro.executor.engine import CompiledWorkload, StreamingEngine
+from repro.queries import Pattern, PredicateSet, Query, Workload
+from repro.queries.predicates import FilterPredicate, compile_filter_kernel
+
+
+def make_events(rows):
+    return [Event(t, ts, attrs, i) for i, (t, ts, attrs) in enumerate(rows)]
+
+
+class TestColumnLayout:
+    def test_type_interning(self):
+        layout = ColumnLayout(types=("A", "B"))
+        assert layout.type_id("A") == 0
+        assert layout.type_id("B") == 1
+        assert layout.type_id("Z") == -1
+
+    def test_value_semantics(self):
+        a = ColumnLayout(("A", "B"), ("value",), ("entity",))
+        b = ColumnLayout(("A", "B"), ("value",), ("entity",))
+        c = ColumnLayout(("A", "B"), ("value",), ())
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_duplicate_types_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnLayout(types=("A", "A"))
+
+
+class TestColumnarBatch:
+    def test_columns_parallel_to_events(self):
+        layout = ColumnLayout(("A", "B"), attributes=("value",), partition=("entity",))
+        events = make_events(
+            [
+                ("A", 3, {"entity": 1, "value": 5}),
+                ("Z", 3, {"entity": 2, "value": 9}),
+                ("B", 3, {"value": 7}),
+            ]
+        )
+        batch = ColumnarBatch.from_events(3, events, layout)
+        assert batch.timestamp == 3 and batch.size == 3
+        assert batch.type_ids == [0, -1, 1]
+        assert batch.relevant == [0, 2]
+        # Cells are extracted only at type-relevant rows: the Z row's value
+        # and group key stay None holes routing never reads.
+        assert batch.columns["value"] == [5, None, 7]
+        assert batch.group_keys == [(1,), None, (None,)]
+
+    def test_group_keys_interned_across_batches(self):
+        layout = ColumnLayout(("A",), partition=("entity",))
+        stream = [
+            Event("A", 0, {"entity": 9}, 0),
+            Event("A", 1, {"entity": 9}, 1),
+        ]
+        first, second = list(columnar_batches(stream, layout))
+        assert first.group_keys[0] is second.group_keys[0]
+
+    def test_no_partition_means_no_group_keys(self):
+        layout = ColumnLayout(("A",))
+        batch = ColumnarBatch.from_events(0, make_events([("A", 0, {})]), layout)
+        assert batch.group_keys is None
+
+
+class TestColumnarBatches:
+    def test_generator_input_batches_by_timestamp(self):
+        layout = ColumnLayout(("A", "B"))
+        events = make_events([("A", 0, {}), ("B", 0, {}), ("A", 2, {})])
+        batches = list(columnar_batches(iter(events), layout))
+        assert [b.timestamp for b in batches] == [0, 2]
+        assert [b.size for b in batches] == [2, 1]
+
+    def test_event_stream_batches_are_cached_per_layout(self):
+        layout = ColumnLayout(("A",), attributes=("value",))
+        stream = EventStream(make_events([("A", 0, {"value": 1}), ("A", 1, {"value": 2})]))
+        first = stream.columnar_batches(layout)
+        again = stream.columnar_batches(ColumnLayout(("A",), attributes=("value",)))
+        assert first is again  # equal layout -> one cache entry
+
+    def test_cache_invalidated_on_mutation(self):
+        layout = ColumnLayout(("A",))
+        stream = EventStream(make_events([("A", 0, {})]))
+        first = stream.columnar_batches(layout)
+        stream.append(Event("A", 1, {}, 99))
+        rebuilt = stream.columnar_batches(layout)
+        assert rebuilt is not first
+        assert sum(b.size for b in rebuilt) == 2
+        stream.extend([Event("A", 2, {}, 100)])
+        assert sum(b.size for b in stream.columnar_batches(layout)) == 3
+
+    def test_streaming_interner_bounded_on_unbounded_group_cardinality(self):
+        """A generator stream with a fresh group per event must stay bounded.
+
+        The streaming interner is a dedup optimisation; past its limit it is
+        dropped and restarted, so memory follows the open scopes (the
+        engine's contract), not the number of distinct group keys seen.
+        """
+        from repro.events.columnar import _INTERNER_LIMIT
+
+        layout = ColumnLayout(("A",), partition=("entity",))
+
+        def endless_fresh_groups(n):
+            for i in range(n):
+                yield Event("A", i, {"entity": i}, i)
+
+        total = _INTERNER_LIMIT + 50
+        batches = list(columnar_batches(endless_fresh_groups(total), layout))
+        assert sum(b.size for b in batches) == total
+        assert [b.group_keys[0] for b in batches[:3]] == [(0,), (1,), (2,)]
+
+    def test_cache_bounded_fifo_across_layouts(self):
+        from repro.events.stream import _COLUMNAR_CACHE_LIMIT
+
+        stream = EventStream(make_events([("A", 0, {})]))
+        first_layout = ColumnLayout(("A",), attributes=("a0",))
+        first = stream.columnar_batches(first_layout)
+        for index in range(_COLUMNAR_CACHE_LIMIT):
+            stream.columnar_batches(ColumnLayout(("A",), attributes=(f"x{index}",)))
+        assert len(stream._columnar_cache) == _COLUMNAR_CACHE_LIMIT
+        # The oldest entry was evicted: a fresh request rebuilds it.
+        assert stream.columnar_batches(first_layout) is not first
+
+    def test_columnar_batches_dispatches_to_stream_cache(self):
+        layout = ColumnLayout(("A",))
+        stream = EventStream(make_events([("A", 0, {})]))
+        assert list(columnar_batches(stream, layout)) == stream.columnar_batches(layout)
+
+
+class TestFilterKernel:
+    def _parity_check(self, filters, events, layout):
+        """The kernel must select exactly the events every filter accepts."""
+        predicates = PredicateSet(filters=filters)
+        kernel = compile_filter_kernel(filters, layout.type_id)
+        batch = ColumnarBatch.from_events(0, events, layout)
+        indices = list(range(len(events)))
+        selected = indices if kernel is None else kernel(batch, indices)
+        expected = [i for i, e in enumerate(events) if predicates.accepts(e)]
+        assert selected == expected
+
+    def test_no_filters_compiles_to_none(self):
+        layout = ColumnLayout(("A",))
+        assert compile_filter_kernel((), layout.type_id) is None
+
+    def test_unrestricted_filter_and_missing_attribute(self):
+        layout = ColumnLayout(("A", "B"), attributes=("value",))
+        events = make_events(
+            [("A", 0, {"value": 5}), ("B", 0, {}), ("A", 0, {"value": 1})]
+        )
+        self._parity_check([FilterPredicate("value", ">", 2)], events, layout)
+
+    def test_type_restricted_filter_passes_other_types(self):
+        layout = ColumnLayout(("A", "B"), attributes=("value",))
+        events = make_events(
+            [("A", 0, {"value": 1}), ("B", 0, {"value": 1}), ("A", 0, {"value": 9})]
+        )
+        self._parity_check(
+            [FilterPredicate("value", ">", 5, event_type="A")], events, layout
+        )
+
+    def test_filter_on_unknown_type_compiles_away(self):
+        layout = ColumnLayout(("A",), attributes=("value",))
+        kernel = compile_filter_kernel(
+            [FilterPredicate("value", ">", 5, event_type="Z")], layout.type_id
+        )
+        assert kernel is None
+
+    def test_conjunction_chains_kernels(self):
+        layout = ColumnLayout(("A", "B"), attributes=("value", "size"))
+        events = make_events(
+            [
+                ("A", 0, {"value": 5, "size": 1}),
+                ("A", 0, {"value": 5, "size": 9}),
+                ("B", 0, {"value": 0, "size": 9}),
+            ]
+        )
+        self._parity_check(
+            [FilterPredicate("value", ">", 2), FilterPredicate("size", ">=", 5)],
+            events,
+            layout,
+        )
+
+    def test_randomized_parity_with_accepts(self):
+        rng = random.Random(7)
+        types = ("A", "B", "C")
+        for trial in range(50):
+            filters = []
+            for _ in range(rng.randint(0, 3)):
+                filters.append(
+                    FilterPredicate(
+                        rng.choice(("value", "size")),
+                        rng.choice(tuple("< <= > >= = !=".split())),
+                        rng.randint(0, 6),
+                        rng.choice((None, "A", "B", "Z")),
+                    )
+                )
+            events = []
+            for i in range(rng.randint(1, 12)):
+                attrs = {}
+                if rng.random() < 0.8:
+                    attrs["value"] = rng.randint(0, 8)
+                if rng.random() < 0.8:
+                    attrs["size"] = rng.randint(0, 8)
+                events.append(Event(rng.choice(types), 0, attrs, i))
+            layout = ColumnLayout(types, attributes=("value", "size"))
+            self._parity_check(filters, events, layout)
+
+
+class TestRouteColumnar:
+    def _workload(self):
+        window = SlidingWindow(size=8, slide=4)
+        predicates = PredicateSet(
+            equivalences=PredicateSet.same("entity").equivalences,
+            filters=[FilterPredicate("value", ">", 3)],
+        )
+        queries = [
+            Query(Pattern(("A", "B")), window, predicates=predicates, name="rc1"),
+            Query(Pattern(("B", "C")), window, predicates=predicates, name="rc2"),
+        ]
+        return Workload(queries)
+
+    def test_layout_derived_from_workload(self):
+        compiled = CompiledWorkload(self._workload())
+        assert compiled.layout.types == ("A", "B", "C")
+        assert "value" in compiled.layout.attributes
+        assert compiled.layout.partition == ("entity",)
+
+    def test_routing_matches_scalar_reference(self):
+        compiled = CompiledWorkload(self._workload())
+        rng = random.Random(11)
+        for trial in range(30):
+            events = []
+            for i in range(rng.randint(1, 15)):
+                events.append(
+                    Event(
+                        rng.choice(("A", "B", "C", "D")),
+                        5,
+                        {"entity": rng.randint(0, 2), "value": rng.randint(0, 8)},
+                        i,
+                    )
+                )
+            batch = ColumnarBatch.from_events(5, events, compiled.layout)
+            count, groups = compiled.route_columnar(batch)
+
+            expected: dict[tuple, list[Event]] = {}
+            for event in events:
+                if compiled.is_relevant(event):
+                    expected.setdefault(compiled.group_key(event), []).append(event)
+            assert count == sum(len(v) for v in expected.values())
+            assert (groups or {}) == expected
+
+
+class TestEngineColumnarMode:
+    def _workload(self):
+        window = SlidingWindow(size=6, slide=3)
+        return Workload([Query(Pattern(("A", "B")), window, name="ec1")])
+
+    def test_columnar_counts_batches_and_matches_scalar(self):
+        workload = self._workload()
+        stream = EventStream(
+            make_events([("A", 0, {}), ("B", 1, {}), ("A", 2, {}), ("B", 4, {})])
+        )
+        columnar = StreamingEngine(workload, columnar=True).run(stream)
+        scalar = StreamingEngine(workload, columnar=False).run(stream)
+        assert columnar.results.matches(scalar.results)
+        assert columnar.metrics.columnar_batches > 0
+        assert scalar.metrics.columnar_batches == 0
+        assert columnar.metrics.total_events == scalar.metrics.total_events == 4
+        assert columnar.metrics.relevant_events == scalar.metrics.relevant_events
+
+    def test_columnar_accepts_plain_iterables(self):
+        workload = self._workload()
+        events = make_events([("A", 0, {}), ("B", 1, {})])
+        report = StreamingEngine(workload, columnar=True).run(iter(events))
+        reference = StreamingEngine(workload, columnar=False).run(iter(events))
+        assert report.results.matches(reference.results)
+        assert report.metrics.columnar_batches == 2
+
+    def test_columnar_composes_with_panes(self):
+        window = SlidingWindow(size=6, slide=2)
+        workload = Workload([Query(Pattern(("A", "B")), window, name="ec2")])
+        stream = EventStream(
+            make_events([("A", 0, {}), ("B", 1, {}), ("A", 3, {}), ("B", 5, {})])
+        )
+        panes_columnar = StreamingEngine(workload, panes=True, columnar=True).run(stream)
+        panes_scalar = StreamingEngine(workload, panes=True, columnar=False).run(stream)
+        assert panes_columnar.results.matches(panes_scalar.results)
+        assert panes_columnar.metrics.columnar_batches > 0
+        assert panes_columnar.metrics.panes_created > 0

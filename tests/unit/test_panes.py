@@ -49,9 +49,9 @@ class TestPaneCountMatrix:
         matrix = PaneCountMatrix(pattern, spec)
         apply_single(matrix, pattern, spec, events_at(("A", 0), ("B", 1), ("C", 2)))
         # cells[j][i] = matches of positions i..j inside the pane.
-        assert matrix.cells[0] == [1]          # (A)
-        assert matrix.cells[1] == [1, 1]       # (A,B), (B)
-        assert matrix.cells[2] == [1, 1, 1]    # (A,B,C), (B,C), (C)
+        assert list(matrix.cells[0]) == [1]          # (A)
+        assert list(matrix.cells[1]) == [1, 1]       # (A,B), (B)
+        assert list(matrix.cells[2]) == [1, 1, 1]    # (A,B,C), (B,C), (C)
 
     def test_same_timestamp_events_never_chain(self):
         pattern = Pattern(("A", "B"))
@@ -59,7 +59,7 @@ class TestPaneCountMatrix:
         matrix = PaneCountMatrix(pattern, spec)
         apply_single(matrix, pattern, spec, events_at(("A", 3), ("B", 3)))
         assert matrix.cells[1][0] == 0  # no (A,B) match within one timestamp
-        assert matrix.cells[0] == [1]
+        assert list(matrix.cells[0]) == [1]
         assert matrix.cells[1][1] == 1
 
     def test_repeated_type_pattern(self):
@@ -67,8 +67,8 @@ class TestPaneCountMatrix:
         spec = AggregateSpec.count_star()
         matrix = PaneCountMatrix(pattern, spec)
         apply_single(matrix, pattern, spec, events_at(("A", 0), ("A", 1), ("A", 2)))
-        assert matrix.cells[0] == [3]
-        assert matrix.cells[1] == [3, 3]  # (0,1),(0,2),(1,2) and three singles
+        assert list(matrix.cells[0]) == [3]
+        assert list(matrix.cells[1]) == [3, 3]  # (0,1),(0,2),(1,2) and three singles
 
     def test_fold_composes_across_panes(self):
         pattern = Pattern(("A", "B"))
@@ -255,3 +255,38 @@ class TestEnginePaneMode:
         off = SharonExecutor(workload, plan=plan, panes=False).run(stream)
         assert on.results.matches(off.results), on.results.differences(off.results)[:5]
         assert on.metrics.panes_created > 0
+
+
+class TestPaneCountMatrixOverflow:
+    """Pane count cells must promote to exact Python ints past 2^63."""
+
+    def test_apply_batch_promotes_past_int64(self):
+        from repro.executor.prefix_agg import _I64_MAX
+
+        pattern = Pattern(("A", "B"))
+        spec = AggregateSpec.count_star()
+        matrix = PaneCountMatrix(pattern, spec)
+        # Seed a base count just below the bound, then chain once more.
+        matrix.cells[0][0] = _I64_MAX // 2
+        batch_a = {0: events_at(*((("A", 0),) * 8))}
+        batch_b = {1: events_at(*((("B", 1),) * 8))}
+        matrix.apply_batch(batch_a, spec)   # cells[0][0] ~ 0.5 * 2^63 + 8
+        matrix.apply_batch(batch_b, spec)   # cells[1][0] = 8 * base > 2^63 - 1
+        expected = 8 * (_I64_MAX // 2 + 8)
+        assert matrix.cells[1][0] == expected
+        assert isinstance(matrix.cells[1], list)
+        # The fold into a (Python-int) prefix vector stays exact.
+        vector = matrix.new_vector()
+        matrix.fold(vector)
+        assert matrix.final_state(vector).count == expected
+
+    def test_diagonal_increment_promotes(self):
+        from repro.executor.prefix_agg import _I64_MAX
+
+        pattern = Pattern(("A",))
+        spec = AggregateSpec.count_star()
+        matrix = PaneCountMatrix(pattern, spec)
+        matrix.cells[0][0] = _I64_MAX - 2
+        matrix.apply_batch({0: events_at(("A", 0), ("A", 0), ("A", 0))}, spec)
+        assert matrix.cells[0][0] == _I64_MAX + 1
+        assert isinstance(matrix.cells[0], list)

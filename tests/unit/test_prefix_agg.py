@@ -274,3 +274,73 @@ class TestCohortCompaction:
         assert state.compactions == 0
         assert runner.carries == []
         assert runner.chain_value().count == 0
+
+
+class TestCountColumnOverflow:
+    """array('q') count columns must promote to exact Python ints past 2^63."""
+
+    def _columns(self, length=2):
+        from repro.executor.prefix_agg import _CountColumns
+
+        return _CountColumns(length)
+
+    def test_columns_start_as_machine_int_arrays(self):
+        from array import array
+
+        columns = self._columns()
+        assert all(isinstance(column, array) for column in columns.columns)
+
+    def test_extend_commit_promotes_past_int64(self):
+        columns = self._columns()
+        columns.append_cohort(AggregateState(count=2**40))
+        summary = (2**30, 0, 0.0, None, None)  # k = 2^30 batch events
+        deltas, applied = columns.extend_commit(1, summary, True)
+        # 2^40 * 2^30 = 2^70 > 2^63 - 1: the column must hold the exact value.
+        assert columns.state_at(1, 0).count == 2**70
+        assert isinstance(columns.columns[1], list)
+        assert deltas == [(0, AggregateState(count=2**70))]
+        # Another commit keeps compounding exactly on the promoted column.
+        columns.extend_commit(1, summary, False)
+        assert columns.state_at(1, 0).count == 2**70 + 2**70
+
+    def test_append_cohort_promotes_oversized_initial(self):
+        columns = self._columns()
+        columns.append_cohort(AggregateState(count=2**70))
+        assert isinstance(columns.columns[0], list)
+        assert columns.state_at(0, 0).count == 2**70
+
+    def test_merge_cohorts_promotes_oversized_sum(self):
+        columns = self._columns()
+        big = 2**62
+        columns.append_cohort(AggregateState(count=big))
+        columns.append_cohort(AggregateState(count=big))
+        columns.append_cohort(AggregateState(count=big))
+        columns.merge_cohorts([[0, 1, 2]])
+        assert columns.state_at(0, 0).count == 3 * big  # > 2^63 - 1
+        assert isinstance(columns.columns[0], list)
+
+    def test_clear_rearms_compact_arrays(self):
+        from array import array
+
+        columns = self._columns()
+        columns.append_cohort(AggregateState(count=2**70))
+        columns.clear()
+        assert all(isinstance(column, array) for column in columns.columns)
+        assert all(len(column) == 0 for column in columns.columns)
+
+    def test_promoted_and_array_columns_agree_with_reference(self):
+        """Values across the promotion boundary match plain-int arithmetic."""
+        columns = self._columns(3)
+        reference = [[], [], []]
+        columns.append_cohort(AggregateState(count=2**31))
+        reference[0].append(2**31)
+        reference[1].append(0)
+        reference[2].append(0)
+        summary = (2**20, 0, 0.0, None, None)
+        for position in (1, 2, 1, 2, 2):
+            columns.extend_commit(position, summary, False)
+            for cohort, base in enumerate(reference[position - 1]):
+                if base:
+                    reference[position][cohort] += 2**20 * base
+        for position in range(3):
+            assert [columns.state_at(position, 0).count] == reference[position]

@@ -7,7 +7,7 @@ import doctest
 import pytest
 
 import repro.events.windows as windows_module
-from repro.events import SlidingWindow, WindowInstance
+from repro.events import SlidingWindow, WindowCursor, WindowInstance
 
 #: Window shapes covering the pane regimes: slide | size, slide ∤ size,
 #: gcd = 1 (unit panes), and tumbling.
@@ -228,3 +228,37 @@ class TestPaneGeometry:
             SlidingWindow(size=4, slide=2).pane_index_of(-1)
         with pytest.raises(ValueError):
             SlidingWindow(size=4, slide=2).instances_covering_pane(-1)
+
+
+class TestWindowCursor:
+    """The incremental scope index must equal per-timestamp re-derivation."""
+
+    def test_matches_instances_containing_on_dense_timeline(self):
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            cursor = WindowCursor(window)
+            for timestamp in range(0, 3 * size):
+                assert list(cursor.advance(timestamp)) == window.instances_containing(
+                    timestamp
+                ), (size, slide, timestamp)
+
+    def test_matches_instances_containing_with_gaps(self):
+        import random
+
+        rng = random.Random(3)
+        for size, slide in PANE_SHAPES:
+            window = SlidingWindow(size=size, slide=slide)
+            cursor = WindowCursor(window)
+            timestamp = 0
+            for _ in range(60):
+                # Mix of repeats, small steps, and jumps far past the window.
+                timestamp += rng.choice((0, 1, 1, 2, slide, size + rng.randint(0, 9)))
+                assert list(cursor.advance(timestamp)) == window.instances_containing(
+                    timestamp
+                ), (size, slide, timestamp)
+
+    def test_rejects_time_travel(self):
+        cursor = WindowCursor(SlidingWindow(size=4, slide=2))
+        cursor.advance(5)
+        with pytest.raises(ValueError, match="monotone"):
+            cursor.advance(4)
