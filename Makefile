@@ -1,21 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-## Differential-grid sizes (override to shrink/grow the randomized grids):
-##   ORACLE_DIFF_SCENARIOS - scenarios replayed through every executor
-##                           (columnar and scalar ingestion, panes on/off)
-##   PANE_DIFF_SCENARIOS   - pane-stressed scenarios replayed with panes on/off
+## Differential-grid sizes (override to shrink/grow the randomized grids;
+## documented in docs/benchmarks.md):
+##   ORACLE_DIFF_SCENARIOS   - scenarios replayed through every executor
+##                             (columnar and scalar ingestion, panes on/off)
+##   PANE_DIFF_SCENARIOS     - pane-stressed scenarios replayed with panes on/off
+##   SHARDED_DIFF_SCENARIOS  - scenarios replayed through the group-sharded engine
 ORACLE_DIFF_SCENARIOS ?= 240
 PANE_DIFF_SCENARIOS ?= 120
+SHARDED_DIFF_SCENARIOS ?= 40
 export ORACLE_DIFF_SCENARIOS
 export PANE_DIFF_SCENARIOS
+export SHARDED_DIFF_SCENARIOS
 
 ## Best-of-N sample count of the columnar_routing benchmark section
 ## (BENCH_engine.json and the benchmarks/test_engine_throughput.py gate).
 COLUMNAR_BENCH_REPEATS ?= 5
 export COLUMNAR_BENCH_REPEATS
 
-.PHONY: test test-fast bench figures lint
+.PHONY: test test-fast bench figures lint docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +27,11 @@ test:
 ## Tier-1 minus the benchmark suites (unit + property + integration).
 test-fast:
 	$(PYTHON) -m pytest -x -q tests
+
+## Documentation checks: relative links/anchors in docs/ + README resolve,
+## the doc map is complete, and every documented env knob actually exists.
+docs-check:
+	$(PYTHON) -m pytest -x -q tests/docs
 
 ## Headless engine throughput benchmark; writes BENCH_engine.json.
 bench:

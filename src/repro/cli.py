@@ -22,8 +22,9 @@ The CLI exposes the library's main workflows without writing Python:
 ``python -m repro bench``
     Run the headless engine-throughput benchmark (stream scaling, the
     Fig. 13 dense-sharing scenario, and the cohort-compaction, pane-sharing,
-    and columnar-routing sections) and write the machine-readable
-    ``BENCH_engine.json`` used to track the performance trajectory.
+    columnar-routing, and sharded-groups sections) and write the
+    machine-readable ``BENCH_engine.json`` used to track the performance
+    trajectory (schema: ``docs/benchmarks.md``).
 
 The CLI is intentionally thin: every command maps onto documented library
 calls so scripts can graduate to the Python API without surprises.
@@ -125,11 +126,20 @@ OPTIMIZERS = {
 }
 
 EXECUTORS = {
-    "sharon": lambda workload, plan: SharonExecutor(workload, plan=plan, memory_sample_interval=8),
-    "aseq": lambda workload, plan: ASeqExecutor(workload, memory_sample_interval=8),
-    "flink": lambda workload, plan: FlinkLikeExecutor(workload, memory_sample_interval=8),
-    "spass": lambda workload, plan: SpassLikeExecutor(workload, plan=plan, memory_sample_interval=8),
+    "sharon": lambda workload, plan, shards: SharonExecutor(
+        workload, plan=plan, memory_sample_interval=8, shards=shards
+    ),
+    "aseq": lambda workload, plan, shards: ASeqExecutor(
+        workload, memory_sample_interval=8, shards=shards
+    ),
+    "flink": lambda workload, plan, shards: FlinkLikeExecutor(workload, memory_sample_interval=8),
+    "spass": lambda workload, plan, shards: SpassLikeExecutor(
+        workload, plan=plan, memory_sample_interval=8
+    ),
 }
+
+#: Executors that understand group-sharded parallel execution (``--shards``).
+SHARDABLE_EXECUTORS = ("sharon", "aseq")
 
 
 # ---------------------------------------------------------------------------
@@ -162,14 +172,27 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1 and args.executor not in SHARDABLE_EXECUTORS:
+        raise SystemExit(
+            f"--shards is only supported by the engine-backed executors "
+            f"{SHARDABLE_EXECUTORS}, not {args.executor!r}"
+        )
     workload = resolve_workload(args)
     stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
     rates = RateCatalog.from_stream(stream, per="time-unit")
     plan = OPTIMIZERS[args.optimizer](rates).optimize(workload).plan
-    executor = EXECUTORS[args.executor](workload, plan)
+    executor = EXECUTORS[args.executor](workload, plan, args.shards)
     report = executor.run(stream)
 
     print(report.metrics.summary())
+    if report.metrics.shards > 1:
+        print(
+            f"sharded across {report.metrics.shards} worker processes: "
+            f"{list(report.metrics.groups_per_shard)} groups per shard, "
+            f"skew {report.metrics.shard_skew:.2f}"
+        )
     rows = [
         [result.query_name, repr(result.window), repr(result.group), result.value]
         for result in sorted(
@@ -214,6 +237,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         run_engine_benchmark,
         run_pane_benchmark,
         run_routing_benchmark,
+        run_sharding_benchmark,
         write_bench_json,
     )
 
@@ -292,12 +316,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Columnar routing",
         )
     )
+    sharded_groups = run_sharding_benchmark()
+    print(
+        format_table(
+            ["scenario", "events", "groups", "shards", "skew", "cpus", "ev/s sharded", "ev/s 1-proc"],
+            [
+                [
+                    sharded_groups.scenario,
+                    sharded_groups.events,
+                    sharded_groups.groups,
+                    sharded_groups.shards,
+                    f"{sharded_groups.shard_skew:.2f}",
+                    sharded_groups.cpu_count,
+                    f"{sharded_groups.sharded_events_per_sec:,.0f}",
+                    f"{sharded_groups.unsharded_events_per_sec:,.0f}",
+                ]
+            ],
+            title="Sharded groups",
+        )
+    )
     target = write_bench_json(
         records,
         args.output,
         compaction=compaction,
         pane_sharing=pane_sharing,
         columnar_routing=columnar_routing,
+        sharded_groups=sharded_groups,
     )
     print(f"\nWrote {len(records)} records to {target}")
     return 0
@@ -371,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor to use (default: sharon)",
     )
     run_parser.add_argument("--limit", type=int, default=15, help="number of result rows to print")
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the stream's groups across this many worker processes "
+        "(sharon/aseq only; 1 = in-process, the default)",
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     figures_parser = subparsers.add_parser(

@@ -195,6 +195,44 @@ class ColumnarBatch:
             batch.group_keys = group_keys
         return batch
 
+    # -- group sharding ------------------------------------------------------
+    def count_groups(self, into: "dict[tuple, int]") -> None:
+        """Accumulate this batch's relevant rows per group key into ``into``.
+
+        One column pass over the pre-interned ``group_keys`` at the
+        type-relevant indices — the per-group load statistic the greedy
+        :class:`~repro.executor.sharding.ShardPlanner` balances on.  Batches
+        without a ``group_keys`` column (no partition attributes) contribute
+        nothing: an ungrouped workload has a single implicit group and
+        cannot be sharded.
+        """
+        keys = self.group_keys
+        if keys is None:
+            return
+        for i in self.relevant:
+            key = keys[i]
+            into[key] = into.get(key, 0) + 1
+
+    def slice_by_shard(
+        self, assignment: "dict[tuple, int]", slices: "list[list[Event]]"
+    ) -> None:
+        """Route this batch's relevant rows into per-shard event lists.
+
+        Appends each type-relevant row's boxed event to
+        ``slices[assignment[group_key]]``, preserving batch (and therefore
+        stream) order within every shard.  Rows that are irrelevant by type
+        never reach any shard — they cannot contribute to any result, so the
+        worker engines are fed pre-thinned slices.  Filter predicates are
+        *not* evaluated here: slicing is a pure column pass, and each worker
+        runs its own compiled kernels over its slice.
+        """
+        keys = self.group_keys
+        if keys is None:
+            return
+        events = self.events
+        for i in self.relevant:
+            slices[assignment[keys[i]]].append(events[i])
+
     def __len__(self) -> int:
         return self.size
 

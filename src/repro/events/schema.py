@@ -44,6 +44,7 @@ class AttributeSpec:
     required: bool = True
 
     def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaValidationError` if ``value`` is outside the domain."""
         if self.domain is object:
             return
         if not isinstance(value, self.domain):
@@ -76,9 +77,11 @@ class EventSchema:
 
     @property
     def attribute_names(self) -> tuple[str, ...]:
+        """The declared attribute names, in declaration order."""
         return tuple(spec.name for spec in self.attributes)
 
     def spec(self, name: str) -> AttributeSpec:
+        """The :class:`AttributeSpec` named ``name`` (``KeyError`` if absent)."""
         for candidate in self.attributes:
             if candidate.name == name:
                 return candidate
@@ -112,11 +115,13 @@ class SchemaRegistry:
     _schemas: dict[EventType, EventSchema] = field(default_factory=dict)
 
     def register(self, schema: EventSchema) -> None:
+        """Add a schema; each event type may be registered at most once."""
         if schema.event_type in self._schemas:
             raise ValueError(f"schema for {schema.event_type!r} already registered")
         self._schemas[schema.event_type] = schema
 
     def get(self, event_type: EventType) -> EventSchema | None:
+        """The schema registered for ``event_type``, or ``None``."""
         return self._schemas.get(event_type)
 
     def __contains__(self, event_type: EventType) -> bool:
@@ -126,6 +131,7 @@ class SchemaRegistry:
         return len(self._schemas)
 
     def event_types(self) -> tuple[EventType, ...]:
+        """The registered event types, sorted."""
         return tuple(sorted(self._schemas))
 
     def validate(self, event: Event, strict: bool = False) -> None:

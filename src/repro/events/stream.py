@@ -137,6 +137,7 @@ class EventStream:
         self._columnar_cache.clear()
 
     def extend(self, events: Iterable[Event]) -> None:
+        """Add many events, re-sorting and invalidating the columnar cache."""
         self._events = sorted(
             list(self._events) + list(events), key=lambda e: (e.timestamp, e.event_id)
         )
@@ -192,15 +193,18 @@ class EventStream:
         return EventStream(subset, name=f"{self.name}~{fraction}")
 
     def event_types(self) -> tuple[EventType, ...]:
+        """The distinct event types occurring in the stream, sorted."""
         return tuple(sorted({e.event_type for e in self._events}))
 
     # -- statistics ----------------------------------------------------------
     @property
     def start_time(self) -> int:
+        """Timestamp of the earliest event (0 for an empty stream)."""
         return self._events[0].timestamp if self._events else 0
 
     @property
     def end_time(self) -> int:
+        """Timestamp of the latest event (0 for an empty stream)."""
         return self._events[-1].timestamp if self._events else 0
 
     @property
@@ -211,6 +215,7 @@ class EventStream:
         return max(1, self.end_time - self.start_time + 1)
 
     def statistics(self) -> StreamStatistics:
+        """Event totals and per-type counts (the cost model's rate inputs)."""
         counts = Counter(e.event_type for e in self._events)
         return StreamStatistics(
             total_events=len(self._events),

@@ -36,9 +36,11 @@ class WindowInstance:
 
     @property
     def size(self) -> int:
+        """Length of the instance's interval in time units."""
         return self.end - self.start
 
     def contains(self, timestamp: int) -> bool:
+        """Whether ``timestamp`` lies inside ``[start, end)`` (end exclusive)."""
         return self.start <= timestamp < self.end
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -72,6 +74,7 @@ class SlidingWindow:
 
     @property
     def is_tumbling(self) -> bool:
+        """Whether instances never overlap (``slide == size``)."""
         return self.size == self.slide
 
     @property
@@ -114,6 +117,7 @@ class SlidingWindow:
         return instances
 
     def instance_starting_at(self, start: int) -> WindowInstance:
+        """The instance ``[start, start + size)``; ``start`` must be on-slide."""
         if start % self.slide != 0:
             raise ValueError(f"window instances start at multiples of slide={self.slide}")
         return WindowInstance(start, start + self.size)

@@ -15,6 +15,7 @@ from .panes import (
 )
 from .prefix_agg import PrivateSegmentState, SharedAnchor, SharedSegmentState
 from .results import QueryResult, ResultSet
+from .sharding import ShardPlan, ShardPlanner, ShardedEngine, stable_group_hash
 from .sequences import (
     count_pattern_matches,
     enumerate_pattern_matches,
@@ -47,6 +48,10 @@ __all__ = [
     "SharedSegmentState",
     "QueryResult",
     "ResultSet",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedEngine",
+    "stable_group_hash",
     "count_pattern_matches",
     "enumerate_pattern_matches",
     "enumerate_query_matches",

@@ -18,6 +18,7 @@ from ..events.event import Event
 from ..events.stream import EventStream
 from ..queries.workload import Workload
 from .engine import ExecutionReport, StreamingEngine
+from .sharding import ShardedEngine
 
 __all__ = ["ASeqExecutor"]
 
@@ -41,6 +42,16 @@ class ASeqExecutor:
     columnar:
         Route ingestion through columnar micro-batches (on by default);
         ``False`` selects the scalar per-event reference path.
+    shards:
+        Group-sharded parallel execution across worker processes
+        (:class:`~repro.executor.sharding.ShardedEngine`); ``1`` (default)
+        keeps the in-process engine, and unshardable workloads fall back.
+    shard_strategy:
+        ``"greedy"`` (count-balanced, default) or ``"hash"``; only used when
+        ``shards > 1``.
+    start_method:
+        :mod:`multiprocessing` start method for shard workers (``None`` =
+        platform default; spawn-safe).
     """
 
     name = "A-Seq"
@@ -51,16 +62,34 @@ class ASeqExecutor:
         memory_sample_interval: int = 0,
         panes: bool = False,
         columnar: bool = True,
+        shards: int = 1,
+        shard_strategy: str = "greedy",
+        start_method: str | None = None,
     ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.workload = workload
-        self._engine = StreamingEngine(
-            workload,
-            plan=SharingPlan(),
-            name=self.name,
-            memory_sample_interval=memory_sample_interval,
-            panes=panes,
-            columnar=columnar,
-        )
+        if shards > 1:
+            self._engine: "StreamingEngine | ShardedEngine" = ShardedEngine(
+                workload,
+                plan=SharingPlan(),
+                shards=shards,
+                strategy=shard_strategy,
+                name=self.name,
+                memory_sample_interval=memory_sample_interval,
+                panes=panes,
+                columnar=columnar,
+                start_method=start_method,
+            )
+        else:
+            self._engine = StreamingEngine(
+                workload,
+                plan=SharingPlan(),
+                name=self.name,
+                memory_sample_interval=memory_sample_interval,
+                panes=panes,
+                columnar=columnar,
+            )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
         """Evaluate the workload over ``stream`` and return results + metrics."""

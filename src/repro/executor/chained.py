@@ -93,6 +93,7 @@ class SharedSegmentRunner:
             self._staged_carries.append(carry())
 
     def commit(self) -> None:
+        """Publish the carries staged for this batch's new anchor cohorts."""
         if self._staged_carries:
             self.carries.extend(self._staged_carries)
             self._staged_carries.clear()
@@ -192,6 +193,7 @@ class QueryChainState:
             runner.stage_batch(events, self._carry_provider(index))
 
     def commit(self) -> None:
+        """Commit every runner's staged carries (end of the batch's reads)."""
         for runner in self.runners:
             runner.commit()
 

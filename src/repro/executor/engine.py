@@ -156,9 +156,16 @@ class CompiledWorkload:
         )
 
     def group_key(self, event: Event) -> tuple:
+        """``event``'s partition key (GROUP BY + equivalence attribute values)."""
         return tuple(event.attribute(attr) for attr in self.partition_attributes)
 
     def is_relevant(self, event: Event) -> bool:
+        """Whether any query can react to ``event`` (type + filter predicates).
+
+        The scalar routing predicate; the columnar path reaches the same
+        decision through the batch's type-relevance selection and the
+        compiled filter kernel (:meth:`route_columnar`).
+        """
         return event.event_type in self.relevant_types and self.predicates.accepts(event)
 
     def route_columnar(
@@ -288,6 +295,7 @@ class WindowGroupScope:
 
     @property
     def update_count(self) -> int:
+        """Total state updates this scope performed (shared + private)."""
         shared = sum(state.updates for state in self.shared_states.values())
         private = sum(chain.update_count for chain in self.chains.values())
         return shared + private

@@ -47,6 +47,17 @@ class RunMetrics:
     #: Timestamp batches routed through the columnar micro-batch path
     #: (zero when the engine ran with ``columnar=False``).
     columnar_batches: int = 0
+    #: Worker shards the run fanned out to (group-sharded execution,
+    #: :class:`~repro.executor.sharding.ShardedEngine`); ``1`` for every
+    #: in-process run, including ``shards=1`` degraded sharded runs.
+    shards: int = 1
+    #: Distinct groups assigned to each shard, by shard index (empty for
+    #: in-process runs).
+    groups_per_shard: tuple[int, ...] = ()
+    #: Heaviest shard's event load over the ideal balanced load (1.0 =
+    #: perfectly balanced, ``shards`` = everything on one shard; 0.0 for
+    #: in-process runs, which have no shard plan).
+    shard_skew: float = 0.0
 
     @property
     def events_per_pane(self) -> float:
@@ -70,6 +81,7 @@ class RunMetrics:
 
     @property
     def latency_seconds(self) -> float:
+        """Total executor processing time (alias used by the figure sweeps)."""
         return self.elapsed_seconds
 
     def summary(self) -> str:
@@ -107,9 +119,11 @@ class MetricsCollector:
 
     # -- timing ----------------------------------------------------------------
     def start(self) -> None:
+        """Start (or resume) the executor's wall-clock timer."""
         self._started_at = time.perf_counter()
 
     def stop(self) -> None:
+        """Pause the timer, accumulating the elapsed span (no-op if stopped)."""
         if self._started_at is None:
             return
         self._elapsed += time.perf_counter() - self._started_at
@@ -117,11 +131,13 @@ class MetricsCollector:
 
     # -- counters ---------------------------------------------------------------
     def count_event(self, relevant: bool) -> None:
+        """Count one processed event (scalar ingestion's per-event tally)."""
         self.total_events += 1
         if relevant:
             self.relevant_events += 1
 
     def count_window(self, results: int) -> None:
+        """Count one finalized window that emitted ``results`` query results."""
         self.windows_finalized += 1
         self.results_emitted += results
 
@@ -140,10 +156,12 @@ class MetricsCollector:
         self._memory.sample(*objects)
 
     def record_memory_bytes(self, nbytes: int) -> None:
+        """Record an externally measured footprint into the peak tracker."""
         self._memory.record(nbytes)
 
     # -- reporting ---------------------------------------------------------------
     def finish(self) -> RunMetrics:
+        """Stop the timer and freeze the counters into a :class:`RunMetrics`."""
         self.stop()
         return RunMetrics(
             executor_name=self.executor_name,

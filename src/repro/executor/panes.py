@@ -146,6 +146,7 @@ class PaneCountMatrix:
                 vector[j] += acc
 
     def final_state(self, vector: list[int]) -> AggregateState:
+        """``vector``'s full-pattern count, boxed as an :class:`AggregateState`."""
         count = vector[self.length]
         return AggregateState(count=count) if count else _ZERO
 
@@ -168,6 +169,12 @@ class PaneStateMatrix:
         self.updates = 0
 
     def apply_batch(self, by_position: dict[int, list[Event]], spec: AggregateSpec) -> None:
+        """Commit one same-timestamp batch, descending position order.
+
+        Same stage/commit discipline as :meth:`PaneCountMatrix.apply_batch`,
+        with one fused ``summarise_batch``/``extend_many`` update per
+        (position, batch) instead of per event.
+        """
         cells = self.cells
         for position in sorted(by_position, reverse=True):
             bucket = by_position[position]
@@ -185,9 +192,11 @@ class PaneStateMatrix:
             self.updates += k
 
     def new_vector(self) -> list[AggregateState]:
+        """The unit prefix vector: one empty sequence, nothing matched yet."""
         return [_UNIT] + [_ZERO] * self.length
 
     def fold(self, vector: list[AggregateState]) -> None:
+        """In-place ``v <- v ⊙ T`` in the (merge, combine) semiring."""
         cells = self.cells
         for j in range(self.length, 0, -1):
             column = cells[j - 1]
@@ -200,6 +209,7 @@ class PaneStateMatrix:
                 vector[j] = vector[j].merge(acc)
 
     def final_state(self, vector: list[AggregateState]) -> AggregateState:
+        """The full-pattern aggregate state accumulated in ``vector``."""
         return vector[self.length]
 
 
@@ -300,6 +310,7 @@ class PaneScope:
 
     @property
     def update_count(self) -> int:
+        """Total matrix-cell updates this pane scope performed."""
         return sum(matrix.updates for matrix in self.matrices.values())
 
 

@@ -175,6 +175,7 @@ class PrivateSegmentState:
         self._staged = additions
 
     def commit(self) -> None:
+        """Merge the staged per-position additions into the live states."""
         staged = self._staged
         if staged is None:
             return
@@ -468,6 +469,7 @@ class SharedSegmentState:
         self._runners.append(runner)
 
     def handles(self, event: Event) -> bool:
+        """Whether ``event``'s type occurs anywhere in this shared pattern."""
         return event.event_type in self._positions
 
     @property

@@ -31,6 +31,7 @@ class QueryResult:
 
     @property
     def key(self) -> ResultKey:
+        """The result's identity: ``(query name, window instance, group key)``."""
         return (self.query_name, self.window, self.group)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -47,6 +48,7 @@ class ResultSet:
             self.add(result)
 
     def add(self, result: QueryResult) -> None:
+        """Insert ``result``, replacing any earlier result with the same key."""
         self._by_key[result.key] = result
 
     def __iter__(self) -> Iterator[QueryResult]:
@@ -59,6 +61,7 @@ class ResultSet:
         return key in self._by_key
 
     def get(self, query_name: str, window: WindowInstance, group: tuple = ()) -> QueryResult | None:
+        """The result at ``(query_name, window, group)``, or ``None``."""
         return self._by_key.get((query_name, window, group))
 
     def value(self, query_name: str, window: WindowInstance, group: tuple = (), default=0):
@@ -67,12 +70,15 @@ class ResultSet:
         return default if result is None else result.value
 
     def for_query(self, query_name: str) -> list[QueryResult]:
+        """All results of one query, in insertion order."""
         return [r for r in self._by_key.values() if r.query_name == query_name]
 
     def for_window(self, window: WindowInstance) -> list[QueryResult]:
+        """All results of one window instance, in insertion order."""
         return [r for r in self._by_key.values() if r.window == window]
 
     def query_names(self) -> tuple[str, ...]:
+        """The distinct query names with at least one result, sorted."""
         return tuple(sorted({r.query_name for r in self._by_key.values()}))
 
     def as_dict(self) -> Mapping[ResultKey, object]:

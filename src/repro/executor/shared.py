@@ -21,6 +21,7 @@ from ..events.stream import EventStream
 from ..queries.workload import Workload
 from ..utils.rates import RateCatalog
 from .engine import ExecutionReport, StreamingEngine
+from .sharding import ShardedEngine
 
 __all__ = ["SharonExecutor", "run_workload"]
 
@@ -57,6 +58,19 @@ class SharonExecutor:
         :mod:`repro.events.columnar`).  On by default; ``False`` selects the
         scalar per-event reference path, which the differential suites pin
         against the columnar one.
+    shards:
+        Group-sharded parallel execution: partition the stream's groups
+        across this many worker processes, each running the unchanged engine
+        (:class:`~repro.executor.sharding.ShardedEngine`).  ``1`` (the
+        default) keeps the in-process engine; workloads that cannot shard
+        (no grouping, or a single observed group) fall back in-process.
+    shard_strategy:
+        ``"greedy"`` (load-balanced by per-group event counts, the default)
+        or ``"hash"`` (stable hash of the group key); only used when
+        ``shards > 1``.
+    start_method:
+        :mod:`multiprocessing` start method for the shard workers (``None``
+        = platform default; the layer is spawn-safe).
     """
 
     name = "Sharon"
@@ -70,22 +84,41 @@ class SharonExecutor:
         compaction: bool = True,
         panes: bool = False,
         columnar: bool = True,
+        shards: int = 1,
+        shard_strategy: str = "greedy",
+        start_method: str | None = None,
     ) -> None:
         if plan is None:
             if rates is None:
                 raise ValueError("SharonExecutor needs either a sharing plan or a rate catalog")
             plan = SharonOptimizer(rates).optimize(workload).plan
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.workload = workload
         self.plan = plan
-        self._engine = StreamingEngine(
-            workload,
-            plan=plan,
-            name=self.name,
-            memory_sample_interval=memory_sample_interval,
-            compaction=compaction,
-            panes=panes,
-            columnar=columnar,
-        )
+        if shards > 1:
+            self._engine: "StreamingEngine | ShardedEngine" = ShardedEngine(
+                workload,
+                plan=plan,
+                shards=shards,
+                strategy=shard_strategy,
+                name=self.name,
+                memory_sample_interval=memory_sample_interval,
+                compaction=compaction,
+                panes=panes,
+                columnar=columnar,
+                start_method=start_method,
+            )
+        else:
+            self._engine = StreamingEngine(
+                workload,
+                plan=plan,
+                name=self.name,
+                memory_sample_interval=memory_sample_interval,
+                compaction=compaction,
+                panes=panes,
+                columnar=columnar,
+            )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
         """Evaluate the workload over ``stream`` according to the sharing plan."""

@@ -26,10 +26,19 @@ future sessions can diff:
   the first run, which is the ingestion cost model of a columnar source
   (columns are extracted once, however many runs or workloads consume them).
 
+* **Sharded groups** — the many-group regime (dozens of independent groups)
+  where group-sharded process fan-out
+  (:class:`~repro.executor.sharding.ShardedEngine`) must beat the in-process
+  engine on multi-core machines; recorded as the ``sharded_groups`` section
+  together with the shard plan's shape and the measuring machine's CPU
+  count (the win is parallelism, so single-core runs record a ratio near or
+  below 1× and the gate skips the speedup assertion there).
+
 Run it with ``python -m repro bench`` (or ``make bench``), or through pytest
 via ``benchmarks/test_engine_throughput.py`` which asserts the scaling,
-sharing, compaction, pane, and columnar-routing properties on the same
-records.
+sharing, compaction, pane, columnar-routing, and sharding properties on the
+same records.  The full record schema is documented in
+``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
@@ -62,16 +71,20 @@ __all__ = [
     "CohortCompactionRecord",
     "PaneSharingRecord",
     "ColumnarRoutingRecord",
+    "ShardedGroupsRecord",
     "SCALE_FACTORS",
+    "SHARD_BENCH_SHARDS",
     "scaling_scenario",
     "dense_sharing_scenario",
     "long_window_scenario",
     "small_slide_scenario",
     "routing_scenario",
+    "many_group_scenario",
     "run_engine_benchmark",
     "run_compaction_benchmark",
     "run_pane_benchmark",
     "run_routing_benchmark",
+    "run_sharding_benchmark",
     "write_bench_json",
 ]
 
@@ -81,6 +94,10 @@ COLUMNAR_BENCH_REPEATS = int(os.environ.get("COLUMNAR_BENCH_REPEATS", "5"))
 
 #: Stream-scale multipliers exercised by the scaling scenarios.
 SCALE_FACTORS: tuple[int, ...] = (1, 4, 16)
+
+#: Shard count of the ``sharded_groups`` benchmark section (the speedup gate
+#: compares this fan-out against the in-process ``shards=1`` run).
+SHARD_BENCH_SHARDS = 4
 
 #: Default location of the machine-readable benchmark record.
 DEFAULT_BENCH_PATH = "BENCH_engine.json"
@@ -186,6 +203,40 @@ class ColumnarRoutingRecord:
 
     def to_json(self) -> dict:
         return asdict(self)
+
+
+@dataclass(frozen=True)
+class ShardedGroupsRecord:
+    """The sharded-groups section of ``BENCH_engine.json``.
+
+    Captures, on the many-group scenario (dozens of independent groups, so
+    the stream splits into balanced per-group shards), the engine throughput
+    with group-sharded process fan-out vs the in-process ``shards=1`` run,
+    plus the shard plan's shape and the machine's CPU count.  The wall-clock
+    win is parallelism: it requires real cores, so the gate in
+    ``benchmarks/test_engine_throughput.py`` enforces the ≥1.5× speedup only
+    where ``cpu_count >= shards`` can deliver it — the zero-divergence check
+    (sharded ≡ unsharded results) is enforced unconditionally by
+    :func:`run_sharding_benchmark` itself.
+    """
+
+    scenario: str
+    events: int
+    groups: int
+    shards: int
+    strategy: str
+    cpu_count: int
+    groups_per_shard: tuple[int, ...]
+    shard_skew: float
+    sharded_events_per_sec: float
+    unsharded_events_per_sec: float
+    samples: int = 1
+
+    def to_json(self) -> dict:
+        """The record as a JSON-serialisable dict (tuples become lists)."""
+        payload = asdict(self)
+        payload["groups_per_shard"] = list(self.groups_per_shard)
+        return payload
 
 
 def scaling_scenario(
@@ -386,6 +437,47 @@ def routing_scenario(
     return workload, EventStream(events, name="columnar-routing")
 
 
+def many_group_scenario(
+    num_queries: int = 12,
+    pattern_length: int = 4,
+    num_types: int = 10,
+    num_entities: int = 64,
+    events_per_second: float = 320.0,
+    duration: int = 120,
+    window: SlidingWindow | None = None,
+    seed: int = 71,
+) -> tuple[Workload, EventStream]:
+    """Many independent groups: the group-sharding regime.
+
+    Dozens of entities (one group each, via the chain workload's equivalence
+    predicate) generate balanced per-group load, and the per-group
+    aggregation work dominates routing — exactly the shape where splitting
+    groups across worker processes approaches a linear wall-clock win.  The
+    scenario is deliberately group-heavy and routing-light: sharding cannot
+    reduce total work (each shard re-runs the same engine over its slice),
+    it can only spread it across cores.
+    """
+    config = ChainConfig(num_event_types=num_types)
+    window = window if window is not None else SlidingWindow(size=40, slide=20)
+    workload = chain_workload(
+        num_queries,
+        pattern_length,
+        config=config,
+        window=window,
+        seed=seed,
+        offset_pool_size=3,
+    )
+    stream = chain_stream(
+        duration=duration,
+        events_per_second=events_per_second,
+        config=config,
+        num_entities=num_entities,
+        seed=seed + 1,
+        name="many-group",
+    )
+    return workload, stream
+
+
 def _timed_run(executor, stream: EventStream, repeats: int):
     """Best-of-``repeats`` wall-clock measurement of one executor."""
     elapsed_samples: list[float] = []
@@ -577,12 +669,67 @@ def run_routing_benchmark(repeats: int = COLUMNAR_BENCH_REPEATS) -> ColumnarRout
     )
 
 
+def run_sharding_benchmark(
+    repeats: int = 3, shards: int = SHARD_BENCH_SHARDS
+) -> ShardedGroupsRecord:
+    """Measure group-sharded process fan-out on the many-group scenario.
+
+    Runs the same workload/plan through the engine with ``shards`` worker
+    processes and in-process (``shards=1``), refuses to record a throughput
+    if the two runs disagree on any result (the in-harness zero-divergence
+    check), and reports the shard plan's shape — plus the CPU count the
+    measurement was taken on, because the sharded side can only win where
+    real cores exist — next to both throughputs.
+    """
+    workload, stream = many_group_scenario()
+    window = workload[0].window
+    total = len(stream)
+    rates = RateCatalog.from_stream(stream, per="window", window_size=window.size)
+    plan = SharonExecutor(workload, rates=rates).plan
+
+    sharded_report, sharded_best, _ = _timed_run(
+        SharonExecutor(workload, plan=plan, shards=shards), stream, repeats
+    )
+    unsharded_report, unsharded_best, _ = _timed_run(
+        SharonExecutor(workload, plan=plan), stream, repeats
+    )
+    if not sharded_report.results.matches(unsharded_report.results):
+        raise RuntimeError(
+            "group sharding changed the many-group benchmark results; "
+            "refusing to record its throughput"
+        )
+    metrics = sharded_report.metrics
+    if metrics.shards != shards:  # pragma: no cover - scenario invariant
+        raise RuntimeError(
+            f"the many-group scenario must fan out to {shards} shards, "
+            f"got {metrics.shards}"
+        )
+    return ShardedGroupsRecord(
+        scenario="many-group",
+        events=total,
+        groups=sum(metrics.groups_per_shard),
+        shards=metrics.shards,
+        strategy="greedy",
+        cpu_count=os.cpu_count() or 1,
+        groups_per_shard=metrics.groups_per_shard,
+        shard_skew=metrics.shard_skew,
+        sharded_events_per_sec=round(
+            total / sharded_best if sharded_best > 0 else float(total), 1
+        ),
+        unsharded_events_per_sec=round(
+            total / unsharded_best if unsharded_best > 0 else float(total), 1
+        ),
+        samples=repeats,
+    )
+
+
 def write_bench_json(
     records: list[BenchRecord],
     path: "str | Path" = DEFAULT_BENCH_PATH,
     compaction: "CohortCompactionRecord | None" = None,
     pane_sharing: "PaneSharingRecord | None" = None,
     columnar_routing: "ColumnarRoutingRecord | None" = None,
+    sharded_groups: "ShardedGroupsRecord | None" = None,
 ) -> Path:
     """Write the records as the machine-readable ``BENCH_engine.json``."""
     payload = {
@@ -596,6 +743,8 @@ def write_bench_json(
         payload["pane_sharing"] = pane_sharing.to_json()
     if columnar_routing is not None:
         payload["columnar_routing"] = columnar_routing.to_json()
+    if sharded_groups is not None:
+        payload["sharded_groups"] = sharded_groups.to_json()
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

@@ -21,9 +21,18 @@ prints the minimal reproducer so it can be checked into
 :class:`TestRegressionCorpus` (learning from failures: every bug becomes a
 permanent regression case).
 
-Grid sizes are controlled by the ``ORACLE_DIFF_SCENARIOS`` (default 240) and
-``PANE_DIFF_SCENARIOS`` (default 120) environment variables; CI may reduce
-them.  Seeds are fixed so every run is reproducible.
+A third, sharding-targeted grid replays scenarios through the group-sharded
+engine (:class:`repro.executor.ShardedEngine` behind
+``SharonExecutor(..., shards=...)``) with both shard strategies and through
+sharded A-Seq, so the shard planner, per-shard batch slicing, worker
+round-trip, and deterministic result merge are all differentially pinned
+against the oracle.  Scenarios without at least two groups exercise the
+documented in-process fallback on the same code path.
+
+Grid sizes are controlled by the ``ORACLE_DIFF_SCENARIOS`` (default 240),
+``PANE_DIFF_SCENARIOS`` (default 120), and ``SHARDED_DIFF_SCENARIOS``
+(default 40) environment variables; CI may reduce them.  Seeds are fixed so
+every run is reproducible.
 """
 
 from __future__ import annotations
@@ -51,6 +60,9 @@ NUM_SCENARIOS = int(os.environ.get("ORACLE_DIFF_SCENARIOS", "240"))
 
 #: Pane-stressed scenarios replayed with panes on and off per full run.
 NUM_PANE_SCENARIOS = int(os.environ.get("PANE_DIFF_SCENARIOS", "120"))
+
+#: Scenarios replayed through the group-sharded engine per full run.
+NUM_SHARDED_SCENARIOS = int(os.environ.get("SHARDED_DIFF_SCENARIOS", "40"))
 
 #: Scenarios are split into parametrized blocks so failures localise.
 NUM_BLOCKS = 8
@@ -93,6 +105,23 @@ def pane_executors_under_test(workload: Workload, seed: int):
         ("Sharon-panes-scalar", SharonExecutor(workload, plan=plan, panes=True, columnar=False)),
         ("Sharon-panes-off", SharonExecutor(workload, plan=plan, panes=False)),
         ("A-Seq-panes-on", ASeqExecutor(workload, panes=True)),
+    )
+
+
+def sharded_executors_under_test(workload: Workload, seed: int):
+    """The group-sharded engine variants (the sharded grid's executor set).
+
+    Two shards cover the fan-out/merge path with minimal process churn; the
+    3-shard hash variant pins the stable-hash assignment, and sharded A-Seq
+    covers the empty-plan decomposition.  Scenarios with fewer than two
+    groups fall back in-process through the same entry point, so the grid
+    also certifies the degraded path.
+    """
+    plan = deterministic_plan(workload, seed)
+    return (
+        ("Sharon-sharded-2", SharonExecutor(workload, plan=plan, shards=2)),
+        ("Sharon-sharded-3-hash", SharonExecutor(workload, plan=plan, shards=3, shard_strategy="hash")),
+        ("A-Seq-sharded-2", ASeqExecutor(workload, shards=2)),
     )
 
 
@@ -174,6 +203,32 @@ def test_pane_modes_match_oracle_on_pane_stress_grid(block):
         if seed >= NUM_PANE_SCENARIOS:
             break
         check_scenario(seed, pane_stress=True, executors=pane_executors_under_test)
+
+
+@pytest.mark.parametrize("block", range(NUM_BLOCKS))
+def test_sharded_engine_matches_oracle_on_randomized_grid(block):
+    """Group-sharded Sharon (greedy + hash) and A-Seq equal the oracle."""
+    per_block = (NUM_SHARDED_SCENARIOS + NUM_BLOCKS - 1) // NUM_BLOCKS
+    for offset in range(per_block):
+        seed = block * per_block + offset
+        if seed >= NUM_SHARDED_SCENARIOS:
+            break
+        check_scenario(seed, executors=sharded_executors_under_test)
+
+
+def test_sharded_grid_exercises_fanout():
+    """The sharded grid is toothless if every scenario falls back: most must shard."""
+    fanned_out = 0
+    total = min(NUM_SHARDED_SCENARIOS, 40) or 40
+    for seed in range(total):
+        workload, stream = random_scenario(seed)
+        attributes = workload[0].partition_attributes
+        if not attributes:
+            continue
+        groups = {tuple(e.attribute(a) for a in attributes) for e in stream}
+        if len(groups) >= 2:
+            fanned_out += 1
+    assert fanned_out >= total // 3
 
 
 def test_pane_stress_grid_exercises_pane_mode():

@@ -94,6 +94,38 @@ class TestCommands:
         assert exit_code == 0
         assert "Sharon:" in captured.out
 
+    def test_run_command_sharded(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--workload", "purchase",
+                "--dataset", "ecommerce",
+                "--duration", "60",
+                "--rate", "5",
+                "--executor", "sharon",
+                "--shards", "2",
+                "--limit", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Sharon:" in captured.out
+        assert "sharded across 2 worker processes" in captured.out
+
+    def test_run_command_rejects_shards_on_twostep_executors(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--workload", "purchase",
+                    "--dataset", "ecommerce",
+                    "--duration", "30",
+                    "--rate", "2",
+                    "--executor", "flink",
+                    "--shards", "2",
+                ]
+            )
+
     def test_run_command_with_workload_file(self, tmp_path, capsys):
         path = tmp_path / "workload.sase"
         path.write_text(WORKLOAD_FILE, encoding="utf-8")
@@ -136,10 +168,10 @@ class TestCommands:
     def test_bench_command_writes_json(self, tmp_path, capsys, monkeypatch):
         import json
 
-        from repro.experiments import BenchRecord
+        from repro.experiments import BenchRecord, ShardedGroupsRecord
 
-        # Substitute a canned measurement so the CLI test stays fast and
-        # deterministic; the real benchmark is exercised by
+        # Substitute canned measurements so the CLI test stays fast and
+        # deterministic; the real benchmarks are exercised by
         # benchmarks/test_engine_throughput.py.
         record = BenchRecord(
             scenario="scale-1x",
@@ -149,12 +181,28 @@ class TestCommands:
             events_per_sec=10_000.0,
             peak_mb=1.5,
         )
+        sharded = ShardedGroupsRecord(
+            scenario="many-group",
+            events=100,
+            groups=8,
+            shards=4,
+            strategy="greedy",
+            cpu_count=4,
+            groups_per_shard=(2, 2, 2, 2),
+            shard_skew=1.0,
+            sharded_events_per_sec=20_000.0,
+            unsharded_events_per_sec=10_000.0,
+        )
         monkeypatch.setattr("repro.experiments.run_engine_benchmark", lambda: [record])
+        monkeypatch.setattr("repro.experiments.run_sharding_benchmark", lambda: sharded)
         output = tmp_path / "BENCH_engine.json"
         exit_code = main(["bench", "--output", str(output)])
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "Engine throughput benchmark" in captured.out
+        assert "Sharded groups" in captured.out
         payload = json.loads(output.read_text(encoding="utf-8"))
         assert payload["benchmark"] == "engine-throughput"
         assert payload["results"][0]["scenario"] == "scale-1x"
+        assert payload["sharded_groups"]["shards"] == 4
+        assert payload["sharded_groups"]["groups_per_shard"] == [2, 2, 2, 2]

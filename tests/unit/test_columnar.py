@@ -82,6 +82,46 @@ class TestColumnarBatch:
         batch = ColumnarBatch.from_events(0, make_events([("A", 0, {})]), layout)
         assert batch.group_keys is None
 
+    def test_count_groups_counts_relevant_rows_only(self):
+        layout = ColumnLayout(("A", "B"), partition=("entity",))
+        events = make_events(
+            [
+                ("A", 0, {"entity": 1}),
+                ("Z", 0, {"entity": 1}),  # irrelevant by type: not counted
+                ("B", 0, {"entity": 2}),
+                ("A", 0, {"entity": 1}),
+            ]
+        )
+        batch = ColumnarBatch.from_events(0, events, layout)
+        counts: dict[tuple, int] = {}
+        batch.count_groups(counts)
+        assert counts == {(1,): 2, (2,): 1}
+
+    def test_slice_by_shard_routes_relevant_rows_in_order(self):
+        layout = ColumnLayout(("A", "B"), partition=("entity",))
+        events = make_events(
+            [
+                ("A", 0, {"entity": 1}),
+                ("Z", 0, {"entity": 2}),  # irrelevant: reaches no shard
+                ("B", 0, {"entity": 2}),
+                ("A", 0, {"entity": 1}),
+            ]
+        )
+        batch = ColumnarBatch.from_events(0, events, layout)
+        slices: list[list[Event]] = [[], []]
+        batch.slice_by_shard({(1,): 0, (2,): 1}, slices)
+        assert slices[0] == [events[0], events[3]]  # batch order preserved
+        assert slices[1] == [events[2]]
+
+    def test_count_and_slice_are_noops_without_partition(self):
+        layout = ColumnLayout(("A",))
+        batch = ColumnarBatch.from_events(0, make_events([("A", 0, {})]), layout)
+        counts: dict[tuple, int] = {}
+        batch.count_groups(counts)
+        slices: list[list[Event]] = [[]]
+        batch.slice_by_shard({}, slices)
+        assert counts == {} and slices == [[]]
+
 
 class TestColumnarBatches:
     def test_generator_input_batches_by_timestamp(self):

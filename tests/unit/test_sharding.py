@@ -1,0 +1,316 @@
+"""Group-sharded execution: planner edge cases, fan-out, and merge semantics.
+
+The differential grid (`tests/integration/test_oracle_differential.py`)
+pins sharded runs against the brute-force oracle on randomized scenarios;
+this module pins the deliberately awkward shard-planning shapes — one group
+with many shards, groups ≪ shards, heavily skewed group sizes — plus the
+engine-level contracts: ``shards=1`` is *exactly* the unsharded engine,
+merges are deterministic, the layer is spawn-safe, and unshardable
+workloads fall back in-process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import SharingPlan
+from repro.datasets.synthetic import ChainConfig, chain_stream, chain_workload
+from repro.events import EventStream, SlidingWindow
+from repro.executor import (
+    ASeqExecutor,
+    ShardPlanner,
+    ShardedEngine,
+    SharonExecutor,
+    stable_group_hash,
+)
+from repro.queries import Pattern, PredicateSet, Query, Workload
+
+from ..conftest import random_maximal_plan
+
+
+def many_group_setup(num_entities: int = 12, duration: int = 30):
+    """A small multi-group workload + stream (one group per entity)."""
+    config = ChainConfig(num_event_types=8)
+    workload = chain_workload(
+        6,
+        3,
+        config=config,
+        window=SlidingWindow(size=20, slide=10),
+        seed=5,
+        offset_pool_size=2,
+    )
+    stream = chain_stream(
+        duration=duration,
+        events_per_second=30.0,
+        config=config,
+        num_entities=num_entities,
+        seed=6,
+        name="sharding-unit",
+    )
+    return workload, stream
+
+
+# ---------------------------------------------------------------------------
+# ShardPlanner
+# ---------------------------------------------------------------------------
+
+
+class TestShardPlanner:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+        with pytest.raises(ValueError):
+            ShardPlanner(2, strategy="round-robin")
+
+    def test_single_group_with_many_shards(self):
+        """One group cannot be split: one shard takes it all, skew is maximal."""
+        plan = ShardPlanner(4).plan({("solo",): 100})
+        assert plan.shards == 4
+        assert plan.assignment == {("solo",): plan.shard_of(("solo",))}
+        assert sorted(plan.groups_per_shard, reverse=True) == [1, 0, 0, 0]
+        assert max(plan.events_per_shard) == 100
+        assert plan.skew == pytest.approx(4.0)
+
+    def test_fewer_groups_than_shards(self):
+        """Groups ≪ shards: every group gets its own shard, the rest stay empty."""
+        counts = {("a",): 10, ("b",): 20, ("c",): 30}
+        plan = ShardPlanner(8).plan(counts)
+        shards_used = set(plan.assignment.values())
+        assert len(shards_used) == len(counts)  # never doubled up
+        assert sum(plan.groups_per_shard) == len(counts)
+        assert plan.events_per_shard.count(0) == 8 - len(counts)
+
+    def test_greedy_balances_skewed_group_sizes(self):
+        """LPT keeps the heaviest shard near ideal under heavy skew."""
+        counts = {(f"g{i}",): count for i, count in enumerate([100, 90, 80, 70, 1, 1, 1, 1])}
+        plan = ShardPlanner(4, strategy="greedy").plan(counts)
+        # Ideal load is 86; greedy lands the four big groups on four shards.
+        assert max(plan.events_per_shard) <= 101
+        assert plan.skew <= 1.25
+
+    def test_greedy_beats_hash_on_skew(self):
+        """The planner's reason to exist: count-balanced beats stateless hash.
+
+        The group keys are chosen (deterministically, in-test) so the stable
+        hash collides the two heaviest groups onto one shard — the failure
+        mode hash sharding cannot avoid and greedy planning cannot hit.
+        """
+        shards = 4
+        keys = [(f"entity-{i}",) for i in range(64)]
+        target = stable_group_hash(keys[0]) % shards
+        colliding = [key for key in keys if stable_group_hash(key) % shards == target]
+        assert len(colliding) >= 2, "need two colliding keys for the skew setup"
+        heavy = colliding[:2]
+        counts = {key: 1 for key in keys[:8]}
+        counts[heavy[0]] = 500
+        counts[heavy[1]] = 500
+        greedy = ShardPlanner(shards, strategy="greedy").plan(counts)
+        hashed = ShardPlanner(shards, strategy="hash").plan(counts)
+        # Greedy is optimal here: the heaviest shard carries exactly one of
+        # the two dominant groups; hash stacks both on one shard.
+        assert max(greedy.events_per_shard) == max(counts.values())
+        assert max(hashed.events_per_shard) == 2 * max(counts.values())
+        assert hashed.skew >= 1.9 * greedy.skew
+
+    def test_hash_assignment_is_stable_and_complete(self):
+        counts = {(f"k{i}",): i + 1 for i in range(10)}
+        first = ShardPlanner(3, strategy="hash").plan(counts)
+        second = ShardPlanner(3, strategy="hash").plan(counts)
+        assert first.assignment == second.assignment
+        assert set(first.assignment) == set(counts)
+        assert all(0 <= shard < 3 for shard in first.assignment.values())
+
+    def test_greedy_is_deterministic_under_ties(self):
+        counts = {(f"t{i}",): 7 for i in range(9)}
+        plans = [ShardPlanner(3).plan(dict(counts)) for _ in range(3)]
+        assert plans[0].assignment == plans[1].assignment == plans[2].assignment
+        assert plans[0].groups_per_shard == (3, 3, 3)
+
+    def test_empty_counts_plan(self):
+        plan = ShardPlanner(3).plan({})
+        assert plan.assignment == {}
+        assert plan.skew == 1.0
+        assert plan.groups_per_shard == (0, 0, 0)
+
+
+# ---------------------------------------------------------------------------
+# ShardedEngine
+# ---------------------------------------------------------------------------
+
+
+class TestShardedEngine:
+    def test_shards_one_is_exactly_the_unsharded_engine(self):
+        """``shards=1`` must degrade to the in-process engine: same results
+        and metric-for-metric equality up to timing/memory noise."""
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        unsharded = SharonExecutor(workload, plan=plan).run(stream)
+        degraded = SharonExecutor(workload, plan=plan, shards=1).run(stream)
+        assert degraded.results.matches(unsharded.results)
+        mine = dataclasses.asdict(degraded.metrics)
+        theirs = dataclasses.asdict(unsharded.metrics)
+        for noisy in ("elapsed_seconds", "peak_memory_bytes"):
+            mine.pop(noisy)
+            theirs.pop(noisy)
+        assert mine == theirs
+        assert degraded.metrics.shards == 1
+        assert degraded.metrics.groups_per_shard == ()
+
+    @pytest.mark.parametrize("strategy", ["greedy", "hash"])
+    def test_sharded_results_match_unsharded(self, strategy):
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        unsharded = SharonExecutor(workload, plan=plan).run(stream)
+        sharded = SharonExecutor(
+            workload, plan=plan, shards=3, shard_strategy=strategy
+        ).run(stream)
+        assert sharded.results.matches(unsharded.results)
+        assert sharded.metrics.shards == 3
+        assert sum(sharded.metrics.groups_per_shard) == 12
+        assert sharded.metrics.relevant_events == unsharded.metrics.relevant_events
+        assert sharded.metrics.windows_finalized == unsharded.metrics.windows_finalized
+        assert sharded.metrics.results_emitted == unsharded.metrics.results_emitted
+
+    def test_serial_mode_equals_parallel_mode(self):
+        """``parallel=False`` (no worker processes) is the same computation."""
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        parallel = ShardedEngine(workload, plan=plan, shards=3).run(stream)
+        serial = ShardedEngine(workload, plan=plan, shards=3, parallel=False).run(stream)
+        assert serial.results.matches(parallel.results)
+        assert serial.metrics.groups_per_shard == parallel.metrics.groups_per_shard
+
+    def test_merge_order_is_deterministic(self):
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        executor = SharonExecutor(workload, plan=plan, shards=3)
+        first = [result.key for result in executor.run(stream).results]
+        second = [result.key for result in executor.run(stream).results]
+        assert first and first == second
+
+    def test_spawn_start_method_round_trip(self):
+        """The layer must be spawn-safe: kernels rebuild inside the workers."""
+        workload, stream = many_group_setup(num_entities=6, duration=12)
+        plan = random_maximal_plan(workload, 5)
+        unsharded = SharonExecutor(workload, plan=plan).run(stream)
+        spawned = SharonExecutor(
+            workload, plan=plan, shards=2, start_method="spawn"
+        ).run(stream)
+        assert spawned.results.matches(unsharded.results)
+        assert spawned.metrics.shards == 2
+
+    def test_sharding_composes_with_panes_and_scalar_ingestion(self):
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        reference = SharonExecutor(workload, plan=plan).run(stream)
+        for toggles in ({"panes": True}, {"columnar": False}, {"compaction": False}):
+            sharded = SharonExecutor(workload, plan=plan, shards=2, **toggles).run(stream)
+            assert sharded.results.matches(reference.results), toggles
+
+    def test_ungrouped_workload_falls_back_in_process(self):
+        """No partition attributes → nothing to shard → unsharded report."""
+        window = SlidingWindow(size=20, slide=10)
+        workload = Workload(
+            [Query(Pattern(("T0", "T1")), window, name="ungrouped")]
+        )
+        _, stream = many_group_setup()
+        sharded = SharonExecutor(workload, plan=SharingPlan(), shards=4).run(stream)
+        unsharded = SharonExecutor(workload, plan=SharingPlan()).run(stream)
+        assert sharded.results.matches(unsharded.results)
+        assert sharded.metrics.shards == 1
+        assert sharded.metrics.shard_skew == 0.0
+
+    def test_single_group_stream_falls_back_in_process(self):
+        """K shards but one observed group: the plan cannot split, so the
+        engine runs in-process instead of paying fan-out for nothing."""
+        workload, _ = many_group_setup()
+        stream = chain_stream(
+            duration=30,
+            events_per_second=10.0,
+            config=ChainConfig(num_event_types=8),
+            num_entities=1,
+            seed=6,
+        )
+        sharded = SharonExecutor(
+            workload, plan=random_maximal_plan(workload, 5), shards=4
+        ).run(stream)
+        assert sharded.metrics.shards == 1
+
+    def test_generator_streams_are_sliceable(self):
+        """Non-EventStream iterables shard too (batches are materialised once)."""
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        unsharded = SharonExecutor(workload, plan=plan).run(stream)
+        sharded = SharonExecutor(workload, plan=plan, shards=2).run(iter(list(stream)))
+        assert sharded.results.matches(unsharded.results)
+
+    def test_aseq_shards_too(self):
+        workload, stream = many_group_setup()
+        unsharded = ASeqExecutor(workload).run(stream)
+        sharded = ASeqExecutor(workload, shards=3).run(stream)
+        assert sharded.results.matches(unsharded.results)
+        assert sharded.metrics.shards == 3
+
+    def test_rejects_bad_shard_count(self):
+        workload, _ = many_group_setup()
+        with pytest.raises(ValueError):
+            ShardedEngine(workload, plan=SharingPlan(), shards=0)
+        with pytest.raises(ValueError):
+            SharonExecutor(workload, plan=SharingPlan(), shards=0)
+        with pytest.raises(ValueError):
+            ASeqExecutor(workload, shards=-2)
+
+    def test_rejects_bad_strategy_at_construction(self):
+        """A typoed strategy must fail up front, not at (or after) run()."""
+        workload, _ = many_group_setup()
+        with pytest.raises(ValueError):
+            ShardedEngine(workload, plan=SharingPlan(), shards=2, strategy="lpt")
+        with pytest.raises(ValueError):
+            SharonExecutor(
+                workload, plan=SharingPlan(), shards=2, shard_strategy="lpt"
+            )
+
+    def test_equivalence_predicates_partition_like_group_by(self):
+        """Sharding keys on *partition* attributes: equivalence predicates and
+        GROUP BY both shard, and grouped results stay keyed per group."""
+        window = SlidingWindow(size=12, slide=6)
+        predicates = PredicateSet.same("entity")
+        workload = Workload(
+            [
+                Query(
+                    Pattern(("A", "B")),
+                    window,
+                    predicates=predicates,
+                    group_by=("region",),
+                    name="e1",
+                ),
+                Query(
+                    Pattern(("B", "C")),
+                    window,
+                    predicates=predicates,
+                    group_by=("region",),
+                    name="e2",
+                ),
+            ]
+        )
+        rows = []
+        for timestamp in range(24):
+            for entity in range(6):
+                rows.append(
+                    (
+                        "ABC"[(timestamp + entity) % 3],
+                        timestamp,
+                        {"entity": entity, "region": entity % 2},
+                    )
+                )
+        from repro.events import Event
+
+        stream = EventStream(
+            [Event(t, ts, attrs, i) for i, (t, ts, attrs) in enumerate(rows)]
+        )
+        unsharded = SharonExecutor(workload, plan=SharingPlan()).run(stream)
+        sharded = SharonExecutor(workload, plan=SharingPlan(), shards=3).run(stream)
+        assert sharded.results.matches(unsharded.results)
+        assert sharded.metrics.shards == 3
