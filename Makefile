@@ -7,12 +7,16 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 ##                             (columnar and scalar ingestion, panes on/off)
 ##   PANE_DIFF_SCENARIOS     - pane-stressed scenarios replayed with panes on/off
 ##   SHARDED_DIFF_SCENARIOS  - scenarios replayed through the group-sharded engine
+##   REPLAY_DIFF_SCENARIOS   - recorded-log scenarios replayed, checkpointed,
+##                             resumed, and compared to the oracle
 ORACLE_DIFF_SCENARIOS ?= 240
 PANE_DIFF_SCENARIOS ?= 120
 SHARDED_DIFF_SCENARIOS ?= 40
+REPLAY_DIFF_SCENARIOS ?= 60
 export ORACLE_DIFF_SCENARIOS
 export PANE_DIFF_SCENARIOS
 export SHARDED_DIFF_SCENARIOS
+export REPLAY_DIFF_SCENARIOS
 
 ## Best-of-N sample count of the columnar_routing benchmark section
 ## (BENCH_engine.json and the benchmarks/test_engine_throughput.py gate).

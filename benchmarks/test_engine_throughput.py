@@ -27,7 +27,15 @@ This is the asymptotics safety net of the shared online engine
    results.  Unlike every other gate this one is about *parallelism*, not
    reduced work, so the speedup assertion only runs on machines with at
    least 4 CPUs (e.g. CI runners); the zero-divergence check and the shard
-   plan shape are enforced everywhere.
+   plan shape are enforced everywhere.  The *tracked* ``BENCH_engine.json``
+   is additionally gated on its own recorded ``cpu_count``: a sub-1.5x
+   sharded ratio is acceptable in the tracked artifact only when the record
+   itself says it was measured on fewer than 4 CPUs.
+6. **Replay is deterministic and affordable.**  Recording the dense stream
+   to a durable event log and replaying it through ``ReplayRunner`` must
+   reach the same final state hash every time, produce results identical to
+   the live in-memory run, and keep a usable fraction of live throughput
+   (the log adds JSON decode work, not engine work).
 
 ``python -m repro bench`` / ``make bench`` runs the same scenarios and
 writes the machine-readable ``BENCH_engine.json`` performance trajectory.
@@ -39,12 +47,15 @@ import os
 
 import pytest
 
+from pathlib import Path
+
 from repro.experiments import (
     SCALE_FACTORS,
     SHARD_BENCH_SHARDS,
     run_compaction_benchmark,
     run_engine_benchmark,
     run_pane_benchmark,
+    run_replay_benchmark,
     run_routing_benchmark,
     run_sharding_benchmark,
     write_bench_json,
@@ -87,6 +98,16 @@ MIN_SHARD_SPEEDUP = 1.5
 #: below this CPU count (a 1-core machine *cannot* run shards concurrently;
 #: there the gate still enforces zero divergence and the shard-plan shape).
 MIN_SHARD_CPUS = SHARD_BENCH_SHARDS
+
+#: Replaying the durable event log must keep at least this fraction of the
+#: live in-memory throughput on the dense scenario.  Replay adds JSON
+#: decoding per event but no engine work, so it typically lands ~0.6-0.9x;
+#: 0.2 leaves ample headroom while still failing a replay path that
+#: re-processes events or copies state per batch.
+MIN_REPLAY_THROUGHPUT_RATIO = 0.2
+
+#: The tracked performance-trajectory artifact at the repo root.
+TRACKED_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="module")
@@ -262,6 +283,78 @@ def test_sharded_groups_plan_shape(sharding_record):
     assert sharding_record.cpu_count >= 1
 
 
+def test_tracked_sharded_record_is_cpu_contextualized():
+    """The tracked artifact may only record a sub-gate sharded ratio on a
+    machine that could not have done better.
+
+    A ``sharded_groups`` record whose speedup is below ``MIN_SHARD_SPEEDUP``
+    is legitimate *only* when its own ``cpu_count`` field shows the
+    measurement was taken on fewer than ``MIN_SHARD_CPUS`` cores — a 1-CPU
+    box time-slices the 4 workers and typically lands ~0.8x, which is the
+    slicing/IPC overhead, not a sharding regression (``docs/benchmarks.md``
+    explains the field).  On a machine with real cores, a slow tracked
+    record means the artifact must be re-recorded or the regression fixed.
+    """
+    if not TRACKED_BENCH_PATH.is_file():
+        pytest.skip(f"no tracked benchmark artifact at {TRACKED_BENCH_PATH}")
+    import json
+
+    payload = json.loads(TRACKED_BENCH_PATH.read_text(encoding="utf-8"))
+    section = payload.get("sharded_groups")
+    if section is None:
+        pytest.skip("tracked artifact predates the sharded_groups section")
+    assert "cpu_count" in section, (
+        "the tracked sharded_groups record must carry the cpu_count it was "
+        "measured on; re-record with `python -m repro bench`"
+    )
+    speedup = section["sharded_events_per_sec"] / max(section["unsharded_events_per_sec"], 1e-9)
+    if section["cpu_count"] >= MIN_SHARD_CPUS:
+        assert speedup >= MIN_SHARD_SPEEDUP, (
+            f"tracked sharded_groups record shows {speedup:.2f}x on "
+            f"{section['cpu_count']} CPUs - re-record the artifact or fix "
+            "the sharding regression"
+        )
+
+
+@pytest.fixture(scope="module")
+def replay_record():
+    return run_replay_benchmark()
+
+
+def test_replay_reaches_identical_state(replay_record):
+    """Every replay of the same log must reach the same final state hash."""
+    assert replay_record.replays >= 2
+    assert replay_record.replays_identical, (
+        f"{replay_record.replays} replays of the same event log reached "
+        "different final state hashes - replay determinism is broken "
+        "(use `repro replay --trace` on two runs and first_divergence to "
+        "localise the offending batch)"
+    )
+    assert len(replay_record.state_hash) == 64
+
+
+def test_replay_matches_live_run(replay_record):
+    """Replaying the log must produce the live in-memory run's results."""
+    assert replay_record.matches_live, (
+        "replayed results diverge from the live run on the dense scenario - "
+        "the event-log codec or the replay ingestion path drops or reorders "
+        "events"
+    )
+
+
+def test_replay_throughput(replay_record):
+    """Replay must keep a usable fraction of live throughput."""
+    replay = replay_record.replay_events_per_sec
+    live = replay_record.live_events_per_sec
+    assert replay >= live * MIN_REPLAY_THROUGHPUT_RATIO, (
+        f"replay throughput ({replay:,.0f} ev/s) below "
+        f"{MIN_REPLAY_THROUGHPUT_RATIO:.0%} of live ({live:,.0f} ev/s) - the "
+        "replay path is doing more than decode-and-feed"
+    )
+    assert replay_record.log_bytes > 0
+    assert replay_record.record_events_per_sec > 0
+
+
 def test_records_expose_sample_spread(bench_records):
     """Best-of-N records must carry the median so noise stays visible."""
     for record in bench_records:
@@ -270,7 +363,13 @@ def test_records_expose_sample_spread(bench_records):
 
 
 def test_bench_json_schema(
-    bench_records, compaction_record, pane_record, routing_record, sharding_record, tmp_path
+    bench_records,
+    compaction_record,
+    pane_record,
+    routing_record,
+    sharding_record,
+    replay_record,
+    tmp_path,
 ):
     import json
 
@@ -281,6 +380,7 @@ def test_bench_json_schema(
         pane_sharing=pane_record,
         columnar_routing=routing_record,
         sharded_groups=sharding_record,
+        replay=replay_record,
     )
     payload = json.loads(target.read_text(encoding="utf-8"))
     assert payload["benchmark"] == "engine-throughput"
@@ -342,3 +442,17 @@ def test_bench_json_schema(
         "unsharded_events_per_sec",
         "samples",
     } <= set(sharded_section)
+    replay_section = payload["replay"]
+    assert replay_section["scenario"] == "dense-sharing-replay"
+    assert replay_section["replays_identical"] is True
+    assert replay_section["matches_live"] is True
+    assert {
+        "events",
+        "log_bytes",
+        "record_events_per_sec",
+        "replay_events_per_sec",
+        "live_events_per_sec",
+        "state_hash",
+        "replays",
+        "samples",
+    } <= set(replay_section)

@@ -14,7 +14,15 @@ import pytest
 
 from repro.events import SlidingWindow
 
-from .harness import optimize, record_series, retry_shape, run_best_of, run_executor, tx_scenario
+from .harness import (
+    optimize,
+    record_series,
+    require_shape_cpus,
+    retry_shape,
+    run_best_of,
+    run_executor,
+    tx_scenario,
+)
 
 EVENT_RATES = [10.0, 20.0, 40.0]
 WINDOW = SlidingWindow(size=40, slide=20)
@@ -60,6 +68,8 @@ def test_fig14_speedup_grows_with_window_content(benchmark):
     latency ratios on a loaded CI machine can transiently invert even with
     best-of-N sampling, while a real regression fails every attempt.
     """
+
+    require_shape_cpus()
 
     def measure_and_check():
         speedups = []

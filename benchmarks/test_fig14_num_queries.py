@@ -19,7 +19,15 @@ import pytest
 
 from repro.events import SlidingWindow
 
-from .harness import lr_scenario, optimize, record_series, retry_shape, run_best_of, run_executor
+from .harness import (
+    lr_scenario,
+    optimize,
+    record_series,
+    require_shape_cpus,
+    retry_shape,
+    run_best_of,
+    run_executor,
+)
 
 QUERY_COUNTS = [8, 16, 32]
 WINDOW = SlidingWindow(size=40, slide=20)
@@ -69,6 +77,8 @@ def test_fig14_speedup_grows_with_queries(benchmark):
     comparison divides two sub-millisecond latencies, so a single scheduling
     burst can transiently invert it on a loaded CI machine.
     """
+
+    require_shape_cpus()
 
     def measure_and_check():
         speedups = []

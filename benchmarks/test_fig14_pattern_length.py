@@ -17,7 +17,15 @@ import pytest
 
 from repro.events import SlidingWindow
 
-from .harness import ec_scenario, optimize, record_series, retry_shape, run_best_of, run_executor
+from .harness import (
+    ec_scenario,
+    optimize,
+    record_series,
+    require_shape_cpus,
+    retry_shape,
+    run_best_of,
+    run_executor,
+)
 
 PATTERN_LENGTHS = [4, 8, 12]
 WINDOW = SlidingWindow(size=40, slide=20)
@@ -69,6 +77,8 @@ def test_fig14_speedup_with_longer_patterns(benchmark):
     burst on a loaded CI machine cannot fail the gate while a real
     regression still fails every attempt.
     """
+
+    require_shape_cpus()
 
     def measure_and_check():
         speedups = []

@@ -19,6 +19,16 @@ The CLI exposes the library's main workflows without writing Python:
     Generate one of the synthetic data sets and print its statistics (or
     write it to a CSV file).
 
+``python -m repro record``
+    Generate a synthetic data set and write it as a durable, seekable JSONL
+    event log (the format ``repro replay`` consumes).
+
+``python -m repro replay``
+    Feed a recorded event log through the deterministic engine — at instant,
+    realtime, or Nx speed — optionally writing checkpoints, resuming from
+    one, recording a state-hash trace, or repeating the replay to verify
+    byte-identical final state (see ``docs/replay.md``).
+
 ``python -m repro bench``
     Run the headless engine-throughput benchmark (stream scaling, the
     Fig. 13 dense-sharing scenario, and the cohort-compaction, pane-sharing,
@@ -179,12 +189,39 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"--shards is only supported by the engine-backed executors "
             f"{SHARDABLE_EXECUTORS}, not {args.executor!r}"
         )
+    if args.checkpoint_every:
+        if args.executor != "sharon" or args.shards > 1:
+            raise SystemExit(
+                "--checkpoint-every requires the in-process sharon executor "
+                "(checkpointing snapshots the single-process engine; see docs/replay.md)"
+            )
     workload = resolve_workload(args)
     stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
+    if args.record:
+        from .events.log import write_event_log
+
+        written = write_event_log(stream, args.record, stream_name=stream.name)
+        print(f"Recorded {written} events to {args.record}")
     rates = RateCatalog.from_stream(stream, per="time-unit")
     plan = OPTIMIZERS[args.optimizer](rates).optimize(workload).plan
-    executor = EXECUTORS[args.executor](workload, plan, args.shards)
-    report = executor.run(stream)
+    if args.checkpoint_every:
+        from .replay import ReplayRunner
+
+        runner = ReplayRunner(workload, plan=plan, name="Sharon")
+        replay_report = runner.run(
+            stream,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        report = replay_report.report
+        print(f"state hash: {replay_report.state_hash}")
+        print(
+            f"wrote {len(replay_report.checkpoints)} checkpoints "
+            f"(every {args.checkpoint_every} batches) to {args.checkpoint_dir}"
+        )
+    else:
+        executor = EXECUTORS[args.executor](workload, plan, args.shards)
+        report = executor.run(stream)
 
     print(report.metrics.summary())
     if report.metrics.shards > 1:
@@ -231,11 +268,86 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_record(args: argparse.Namespace) -> int:
+    from .events.log import write_event_log
+
+    stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
+    written = write_event_log(
+        stream, args.output, stream_name=stream.name, fsync_every=args.fsync_every
+    )
+    size = Path(args.output).stat().st_size
+    print(f"Recorded {written} events ({size:,} bytes) to {args.output}")
+    print(f"Replay with: repro replay --log {args.output}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .events.log import EventLogReader
+    from .replay import ReplayRunner, ReplayTrace, first_divergence
+
+    if args.repeat < 1:
+        raise SystemExit(f"--repeat must be >= 1, got {args.repeat}")
+    if args.repeat > 1 and args.resume:
+        raise SystemExit("--repeat verifies full replays; it cannot be combined with --resume")
+    reader = EventLogReader(args.log)
+    recorded = reader.read_stream()
+    workload = resolve_workload(args)
+    rates = RateCatalog.from_stream(recorded, per="time-unit")
+    plan = OPTIMIZERS[args.optimizer](rates).optimize(workload).plan
+
+    def make_runner() -> ReplayRunner:
+        return ReplayRunner(
+            workload,
+            plan=plan,
+            compaction=not args.no_compaction,
+            panes=args.panes,
+            columnar=not args.no_columnar,
+        )
+
+    replay_report = make_runner().run(
+        reader,
+        speed=args.speed,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume_from=args.resume,
+        trace=bool(args.trace),
+    )
+    print(replay_report.report.metrics.summary())
+    print(f"replayed {replay_report.events_replayed} events "
+          f"in {replay_report.batches} timestamp batches")
+    if args.resume:
+        print(f"resumed from {args.resume}")
+    if replay_report.checkpoints:
+        print(f"wrote {len(replay_report.checkpoints)} checkpoints to {args.checkpoint_dir}")
+    if args.trace:
+        replay_report.trace.write(args.trace)
+        print(f"wrote {len(replay_report.trace)} trace entries to {args.trace}")
+    print(f"state hash: {replay_report.state_hash}")
+
+    for iteration in range(2, args.repeat + 1):
+        trace = ReplayTrace() if args.trace else None
+        repeat_report = make_runner().run(args.log, speed=args.speed, trace=trace)
+        if repeat_report.state_hash != replay_report.state_hash:
+            divergence = None
+            if trace is not None:
+                divergence = first_divergence(replay_report.trace, trace)
+            raise SystemExit(
+                f"replay {iteration}/{args.repeat} DIVERGED: "
+                f"state hash {repeat_report.state_hash} != {replay_report.state_hash}"
+                + (f"; first divergence at batch {divergence['index']}" if divergence else "")
+            )
+        print(f"replay {iteration}/{args.repeat}: state hash identical")
+    if args.repeat > 1:
+        print(f"{args.repeat} replays produced byte-identical final state")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import (
         run_compaction_benchmark,
         run_engine_benchmark,
         run_pane_benchmark,
+        run_replay_benchmark,
         run_routing_benchmark,
         run_sharding_benchmark,
         write_bench_json,
@@ -335,6 +447,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Sharded groups",
         )
     )
+    replay = run_replay_benchmark()
+    print(
+        format_table(
+            ["scenario", "events", "log KiB", "ev/s record", "ev/s replay", "ev/s live", "identical", "matches"],
+            [
+                [
+                    replay.scenario,
+                    replay.events,
+                    f"{replay.log_bytes / 1024:,.0f}",
+                    f"{replay.record_events_per_sec:,.0f}",
+                    f"{replay.replay_events_per_sec:,.0f}",
+                    f"{replay.live_events_per_sec:,.0f}",
+                    "yes" if replay.replays_identical else "NO",
+                    "yes" if replay.matches_live else "NO",
+                ]
+            ],
+            title="Deterministic replay",
+        )
+    )
     target = write_bench_json(
         records,
         args.output,
@@ -342,6 +473,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         pane_sharing=pane_sharing,
         columnar_routing=columnar_routing,
         sharded_groups=sharded_groups,
+        replay=replay,
     )
     print(f"\nWrote {len(records)} records to {target}")
     return 0
@@ -422,6 +554,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the stream's groups across this many worker processes "
         "(sharon/aseq only; 1 = in-process, the default)",
     )
+    run_parser.add_argument(
+        "--record",
+        metavar="PATH",
+        help="also write the generated stream to this JSONL event log "
+        "(replayable with `repro replay --log PATH`)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write an engine checkpoint every N timestamp batches "
+        "(sharon executor, single process; default: 0 = off)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        default="checkpoints",
+        help="directory for checkpoint files (default: checkpoints)",
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     figures_parser = subparsers.add_parser(
@@ -443,6 +594,82 @@ def build_parser() -> argparse.ArgumentParser:
     datasets_parser.add_argument("--seed", type=int, default=1)
     datasets_parser.add_argument("--output", help="optional CSV file to write the events to")
     datasets_parser.set_defaults(handler=cmd_datasets)
+
+    record_parser = subparsers.add_parser(
+        "record", help="generate a synthetic data set and write it as a replayable event log"
+    )
+    record_parser.add_argument(
+        "--dataset",
+        default="taxi",
+        choices=["taxi", "linear-road", "ecommerce"],
+    )
+    record_parser.add_argument("--duration", type=int, default=300)
+    record_parser.add_argument("--rate", type=float, default=10.0)
+    record_parser.add_argument("--seed", type=int, default=1)
+    record_parser.add_argument(
+        "--output",
+        default="events.jsonl",
+        help="path of the event-log file to write (default: events.jsonl)",
+    )
+    record_parser.add_argument(
+        "--fsync-every",
+        type=int,
+        default=512,
+        help="fsync the log after this many appended events (default: 512)",
+    )
+    record_parser.set_defaults(handler=cmd_record)
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="replay a recorded event log through the deterministic engine"
+    )
+    _add_common_input_arguments(replay_parser)
+    replay_parser.add_argument(
+        "--log", required=True, help="event log to replay (written by `repro record` or `run --record`)"
+    )
+    replay_parser.add_argument(
+        "--speed",
+        default="instant",
+        help="replay pacing: 'instant' (default), 'realtime', or an Nx multiplier like '4x'",
+    )
+    replay_parser.add_argument(
+        "--panes", action="store_true", help="evaluate in pane-partitioned mode"
+    )
+    replay_parser.add_argument(
+        "--no-columnar", action="store_true", help="disable columnar micro-batch ingestion"
+    )
+    replay_parser.add_argument(
+        "--no-compaction", action="store_true", help="disable cohort compaction"
+    )
+    replay_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a checkpoint every N timestamp batches (default: 0 = off)",
+    )
+    replay_parser.add_argument(
+        "--checkpoint-dir",
+        default="checkpoints",
+        help="directory for checkpoint files (default: checkpoints)",
+    )
+    replay_parser.add_argument(
+        "--resume",
+        metavar="CHECKPOINT",
+        help="resume from this checkpoint file instead of replaying from the start",
+    )
+    replay_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a per-batch state-hash trace to this JSONL file",
+    )
+    replay_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replay N times and verify every run reaches a byte-identical final state",
+    )
+    replay_parser.set_defaults(handler=cmd_replay)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run the engine throughput benchmark and write BENCH_engine.json"

@@ -2,6 +2,15 @@
 
 from .columnar import ColumnLayout, ColumnarBatch, columnar_batches
 from .event import Event, EventType
+from .log import (
+    EventLogError,
+    EventLogReader,
+    EventLogWriter,
+    event_from_record,
+    event_to_record,
+    read_event_log,
+    write_event_log,
+)
 from .schema import AttributeSpec, EventSchema, SchemaRegistry, SchemaValidationError
 from .stream import (
     EventStream,
@@ -15,6 +24,13 @@ from .windows import SlidingWindow, WindowCursor, WindowInstance
 __all__ = [
     "Event",
     "EventType",
+    "EventLogError",
+    "EventLogReader",
+    "EventLogWriter",
+    "event_from_record",
+    "event_to_record",
+    "read_event_log",
+    "write_event_log",
     "AttributeSpec",
     "EventSchema",
     "SchemaRegistry",

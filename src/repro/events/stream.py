@@ -32,7 +32,7 @@ __all__ = [
     "timestamp_batches",
 ]
 
-#: Distinct column layouts cached per stream (FIFO-evicted beyond this);
+#: Distinct column layouts cached per stream (LRU-evicted beyond this);
 #: bounds resident memory when one long-lived stream serves many workloads.
 _COLUMNAR_CACHE_LIMIT = 4
 
@@ -129,9 +129,17 @@ class EventStream:
         return cls(events, name=name)
 
     def append(self, event: Event) -> None:
-        """Insert an event keeping timestamp order (used by generators)."""
+        """Insert an event keeping ``(timestamp, event_id)`` order.
+
+        Uses the same sort key as the constructor and :meth:`extend`, so a
+        stream grown event by event is indistinguishable from one built in a
+        single pass — a precondition for deterministic replay when timestamps
+        tie.
+        """
         position = bisect.bisect_right(
-            self._events, event.timestamp, key=lambda e: e.timestamp
+            self._events,
+            (event.timestamp, event.event_id),
+            key=lambda e: (e.timestamp, e.event_id),
         )
         self._events.insert(position, event)
         self._columnar_cache.clear()
@@ -150,12 +158,17 @@ class EventStream:
         Built on first use and cached per layout (layouts are value objects),
         so repeated engine runs — and every workload compiled to the same
         layout — share one column extraction.  The cache holds the last few
-        distinct layouts (FIFO, bounded so one stream serving many workloads
-        cannot retain unbounded column copies) and is invalidated by
-        :meth:`append`/:meth:`extend`.
+        distinct layouts (LRU: a hit refreshes the entry, so a hot layout
+        survives any number of cold ones; bounded so one stream serving many
+        workloads cannot retain unbounded column copies) and is invalidated
+        by :meth:`append`/:meth:`extend`.
         """
         cached = self._columnar_cache.get(layout)
-        if cached is None:
+        if cached is not None:
+            # Move-to-end: dicts preserve insertion order, so re-inserting
+            # marks the layout most-recently-used for the eviction scan below.
+            self._columnar_cache[layout] = self._columnar_cache.pop(layout)
+        else:
             from .columnar import ColumnarBatch
 
             interner: dict[tuple, tuple] = {}

@@ -296,3 +296,22 @@ class WindowCursor:
             next_start += slide
         self._next_start = next_start
         return instances
+
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the cursor position as a JSON-safe dict.
+
+        Only the two scalars are persisted; the live instance deque is fully
+        determined by them (it always equals
+        ``window.instances_containing(timestamp)``) and is rebuilt on
+        :meth:`restore_state`.
+        """
+        return {"next_start": self._next_start, "timestamp": self._timestamp}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a position exported by :meth:`export_state`."""
+        self._next_start = state["next_start"]
+        self._timestamp = state["timestamp"]
+        self._instances.clear()
+        if self._timestamp >= 0:
+            self._instances.extend(self.window.instances_containing(self._timestamp))

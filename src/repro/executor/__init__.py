@@ -3,7 +3,14 @@ two-step baselines (Flink-like, SPASS-like)."""
 
 from .aseq import ASeqExecutor
 from .chained import QueryChainState, SharedSegmentRunner
-from .engine import CompiledWorkload, ExecutionReport, StreamingEngine, WindowGroupScope
+from .engine import (
+    CompiledWorkload,
+    EngineSession,
+    ExecutionReport,
+    PaneEngineSession,
+    StreamingEngine,
+    WindowGroupScope,
+)
 from .metrics import MetricsCollector, RunMetrics
 from .oracle import OracleBudgetExceeded, OracleExecutor, enumerate_sequences_naive
 from .panes import (
@@ -30,7 +37,9 @@ __all__ = [
     "QueryChainState",
     "SharedSegmentRunner",
     "CompiledWorkload",
+    "EngineSession",
     "ExecutionReport",
+    "PaneEngineSession",
     "StreamingEngine",
     "WindowGroupScope",
     "MetricsCollector",

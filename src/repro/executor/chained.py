@@ -142,6 +142,24 @@ class SharedSegmentRunner:
         carries = self.carries
         self.carries = [carries[index] for index in representatives]
 
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot carries, running total and combination count (JSON-safe)."""
+        if self._staged_carries:
+            raise RuntimeError("export_state() must be called between batches")
+        return {
+            "carries": [carry.as_tuple() for carry in self.carries],
+            "total": self._total.as_tuple(),
+            "combinations": self.combinations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.carries[:] = [AggregateState.from_tuple(carry) for carry in state["carries"]]
+        self._staged_carries.clear()
+        self._total = AggregateState.from_tuple(state["total"])
+        self.combinations = state["combinations"]
+
     def reset(self) -> None:
         """Clear per-scope state so the runner can serve a new scope."""
         self.carries.clear()
@@ -211,6 +229,20 @@ class QueryChainState:
             if isinstance(runner, SharedSegmentRunner):
                 runner.count_combinations()
         return self.final_value()
+
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> list:
+        """Snapshot every segment runner, in chain order (JSON-safe)."""
+        return [runner.export_state() for runner in self.runners]
+
+    def restore_state(self, states: Sequence) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        if len(states) != len(self.runners):
+            raise ValueError(
+                f"snapshot has {len(states)} segments, chain has {len(self.runners)}"
+            )
+        for runner, state in zip(self.runners, states):
+            runner.restore_state(state)
 
     def reset(self) -> None:
         """Clear every runner so the chain can serve a new scope."""

@@ -54,7 +54,14 @@ from .panes import CompiledPaneWorkload, PaneScope, WindowPaneAccumulator
 from .prefix_agg import SharedSegmentState
 from .results import QueryResult, ResultSet
 
-__all__ = ["ExecutionReport", "CompiledWorkload", "WindowGroupScope", "StreamingEngine"]
+__all__ = [
+    "ExecutionReport",
+    "CompiledWorkload",
+    "WindowGroupScope",
+    "StreamingEngine",
+    "EngineSession",
+    "PaneEngineSession",
+]
 
 #: Upper bound on retired scopes kept for reuse (bounds pool memory when the
 #: group cardinality fluctuates).
@@ -307,6 +314,298 @@ class WindowGroupScope:
         merged = sum(state.cohorts_merged for state in self.shared_states.values())
         return created, merged
 
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the scope as a JSON-safe dict (between batches only).
+
+        Shared states are listed in ``compiled.shared_specs`` order and
+        chains in workload order, so the snapshot references them by
+        position — no Pattern/Query serialisation needed; restoring requires
+        the same compiled workload (checkpoints fingerprint it).
+        """
+        compiled = self.compiled
+        return {
+            "window": [self.window.start, self.window.end],
+            "group": list(self.group),
+            "shared": [
+                self.shared_states[pattern].export_state() for pattern in compiled.shared_specs
+            ],
+            "chains": [self.chains[query.name].export_state() for query in compiled.workload],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The scope must have been constructed with the same compiled workload
+        (and the window/group of the snapshot); only aggregation state is
+        restored here.
+        """
+        compiled = self.compiled
+        for pattern, shared in zip(compiled.shared_specs, state["shared"]):
+            self.shared_states[pattern].restore_state(shared)
+        for query, chain in zip(compiled.workload, state["chains"]):
+            self.chains[query.name].restore_state(chain)
+
+
+def _dump_results(results: ResultSet) -> list:
+    """Canonical JSON-safe listing of a result set (sorted by result key).
+
+    Sorting by ``repr(key)`` (group tuples may mix value types) makes the
+    dump independent of insertion order, so a resumed run and a full run
+    export byte-identical results even though they populated the set in a
+    different order.
+    """
+    return [
+        [result.query_name, [result.window.start, result.window.end], list(result.group), result.value]
+        for result in sorted(results, key=lambda result: repr(result.key))
+    ]
+
+
+def _load_results(dumped: list) -> ResultSet:
+    """Rebuild a :class:`ResultSet` from :func:`_dump_results` output."""
+    results = ResultSet()
+    for name, (start, end), group, value in dumped:
+        results.add(QueryResult(name, WindowInstance(start, end), tuple(group), value))
+    return results
+
+
+class EngineSession:
+    """One stepwise per-instance engine run that can be checkpointed.
+
+    A session owns everything :meth:`StreamingEngine.run` used to keep in
+    locals — metrics collector, result set, open scopes, scope pool, and the
+    window cursor — and exposes the run loop as :meth:`step` (one timestamp
+    batch) plus :meth:`finish` (final window flush).  Because the whole run
+    state lives here, :meth:`export_state`/:meth:`restore_state` can snapshot
+    it between batches and a resumed session is indistinguishable from one
+    that consumed the full stream (the replay suite pins this byte-for-byte).
+
+    Obtain sessions from :meth:`StreamingEngine.new_session`, which picks
+    this class or :class:`PaneEngineSession` to match the engine's mode.
+    """
+
+    mode = "instances"
+
+    __slots__ = ("engine", "collector", "results", "_scopes", "_pool", "_cursor")
+
+    def __init__(self, engine: "StreamingEngine") -> None:
+        self.engine = engine
+        self.collector = MetricsCollector(
+            executor_name=engine.name, memory_sample_interval=engine.memory_sample_interval
+        )
+        self.results = ResultSet()
+        #: Active scopes: window instance -> group key -> scope.
+        self._scopes: dict[WindowInstance, dict[tuple, WindowGroupScope]] = {}
+        #: Retired scopes available for reuse under the current compiled workload.
+        self._pool: list[WindowGroupScope] = []
+        #: Scope index: the window instances containing the (monotone) batch
+        #: timestamp, maintained incrementally instead of re-derived per event.
+        self._cursor = WindowCursor(engine.compiled.window)
+
+    def step(self, timestamp: int, groups: "dict[tuple, list[Event]] | None") -> None:
+        """Process one routed timestamp batch (see ``routed_batches``)."""
+        engine = self.engine
+        engine._finalize_expired(self._scopes, timestamp, self.results, self.collector, self._pool)
+        if groups:
+            compiled = engine.compiled
+            windows = self._cursor.advance(timestamp)
+            for group, group_events in groups.items():
+                for window in windows:
+                    group_scopes = self._scopes.setdefault(window, {})
+                    scope = group_scopes.get(group)
+                    if scope is None:
+                        scope = engine._acquire_scope(self._pool, compiled, window, group)
+                        group_scopes[group] = scope
+                    scope.process_batch(group_events)
+
+    def finish(self) -> ExecutionReport:
+        """Flush all remaining windows and freeze the report."""
+        engine = self.engine
+        engine._finalize_expired(self._scopes, None, self.results, self.collector, self._pool)
+        metrics = self.collector.finish()
+        return ExecutionReport(results=self.results, metrics=metrics, plan=engine.compiled.plan)
+
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the whole session as a JSON-safe dict (between batches).
+
+        Scopes are listed window-sorted then group-sorted (by ``repr``) and
+        results in canonical key order, so the export is independent of the
+        arrival order that built the internal dicts — the property that makes
+        resumed-run and full-run state hashes comparable.  The scope pool is
+        deliberately excluded: pooled scopes are reset husks that cannot
+        influence any future result.
+        """
+        scopes = []
+        for window in sorted(self._scopes):
+            by_group = self._scopes[window]
+            for group in sorted(by_group, key=repr):
+                scopes.append(by_group[group].export_state())
+        return {
+            "mode": self.mode,
+            "cursor": self._cursor.export_state(),
+            "scopes": scopes,
+            "results": _dump_results(self.results),
+            "metrics": self.collector.export_counters(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The engine must be configured identically to the exporting one
+        (same workload, plan, and toggles) — checkpoint files carry a
+        workload fingerprint and the engine config so the replay layer can
+        verify this before calling here.
+        """
+        if state.get("mode") != self.mode:
+            raise ValueError(
+                f"snapshot was taken in {state.get('mode')!r} mode, "
+                f"this session runs in {self.mode!r} mode"
+            )
+        self._cursor.restore_state(state["cursor"])
+        self._scopes = {}
+        self._pool = []
+        compiled = self.engine.compiled
+        for dump in state["scopes"]:
+            window = WindowInstance(dump["window"][0], dump["window"][1])
+            group = tuple(dump["group"])
+            scope = WindowGroupScope(compiled, window, group)
+            scope.restore_state(dump)
+            self._scopes.setdefault(window, {})[group] = scope
+        self.results = _load_results(state["results"])
+        self.collector.restore_counters(state["metrics"])
+
+
+class PaneEngineSession:
+    """Stepwise pane-partitioned engine run (checkpointable).
+
+    The pane-mode counterpart of :class:`EngineSession`: owns the single
+    open pane's scopes and the per-window prefix-vector accumulators.
+    Exactly one pane is ever open (streams are timestamp-ordered); when the
+    stream time leaves it, its matrices are folded into the accumulators of
+    every covering window instance and dropped.  Sharing plans do not apply
+    in this mode: work is shared across overlapping window instances (and
+    across queries with equal (pattern, aggregate) pairs) structurally.
+    """
+
+    mode = "panes"
+
+    __slots__ = (
+        "engine",
+        "collector",
+        "results",
+        "_pane_compiled",
+        "_pane_width",
+        "_open_pane_index",
+        "_open_pane_scopes",
+        "_accumulators",
+    )
+
+    def __init__(self, engine: "StreamingEngine") -> None:
+        self.engine = engine
+        self.collector = MetricsCollector(
+            executor_name=engine.name, memory_sample_interval=engine.memory_sample_interval
+        )
+        self.results = ResultSet()
+        self._pane_compiled = CompiledPaneWorkload(engine.workload)
+        self._pane_width = engine.compiled.window.pane_width
+        #: The single open pane: index plus one scope per group seen in it.
+        self._open_pane_index: "int | None" = None
+        self._open_pane_scopes: dict[tuple, PaneScope] = {}
+        #: Pane-fed prefix vectors: window instance -> group -> accumulator.
+        self._accumulators: dict[WindowInstance, dict[tuple, WindowPaneAccumulator]] = {}
+
+    def step(self, timestamp: int, groups: "dict[tuple, list[Event]] | None") -> None:
+        """Process one routed timestamp batch into the current pane."""
+        engine = self.engine
+        pane_index = timestamp // self._pane_width
+        if self._open_pane_index is not None and pane_index != self._open_pane_index:
+            engine._close_pane(
+                self._open_pane_index, self._open_pane_scopes, self._accumulators, self.collector
+            )
+            self._open_pane_scopes = {}
+            self._open_pane_index = None
+        engine._finalize_panes_expired(self._accumulators, timestamp, self.results, self.collector)
+
+        if groups:
+            self._open_pane_index = pane_index
+            for group, scope_events in groups.items():
+                scope = self._open_pane_scopes.get(group)
+                if scope is None:
+                    scope = PaneScope(self._pane_compiled, pane_index, group)
+                    self._open_pane_scopes[group] = scope
+                    self.collector.panes_created += 1
+                scope.process_batch(scope_events)
+
+    def finish(self) -> ExecutionReport:
+        """Close the open pane, flush all windows, and freeze the report."""
+        engine = self.engine
+        if self._open_pane_index is not None:
+            engine._close_pane(
+                self._open_pane_index, self._open_pane_scopes, self._accumulators, self.collector
+            )
+            self._open_pane_scopes = {}
+            self._open_pane_index = None
+        engine._finalize_panes_expired(self._accumulators, None, self.results, self.collector)
+        metrics = self.collector.finish()
+        return ExecutionReport(results=self.results, metrics=metrics, plan=engine.compiled.plan)
+
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the pane session as a JSON-safe dict (between batches).
+
+        Same canonical ordering discipline as
+        :meth:`EngineSession.export_state`: groups sorted by ``repr``,
+        accumulators window-sorted, results in key order.
+        """
+        open_scopes = [
+            self._open_pane_scopes[group].export_state()
+            for group in sorted(self._open_pane_scopes, key=repr)
+        ]
+        accumulators = []
+        for window in sorted(self._accumulators):
+            by_group = self._accumulators[window]
+            for group in sorted(by_group, key=repr):
+                accumulators.append(
+                    {
+                        "window": [window.start, window.end],
+                        "group": list(group),
+                        **by_group[group].export_state(),
+                    }
+                )
+        return {
+            "mode": self.mode,
+            "open_pane_index": self._open_pane_index,
+            "open_pane_scopes": open_scopes,
+            "accumulators": accumulators,
+            "results": _dump_results(self.results),
+            "metrics": self.collector.export_counters(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        if state.get("mode") != self.mode:
+            raise ValueError(
+                f"snapshot was taken in {state.get('mode')!r} mode, "
+                f"this session runs in {self.mode!r} mode"
+            )
+        self._open_pane_index = state["open_pane_index"]
+        self._open_pane_scopes = {}
+        for dump in state["open_pane_scopes"]:
+            group = tuple(dump["group"])
+            scope = PaneScope(self._pane_compiled, dump["pane_index"], group)
+            scope.restore_state(dump)
+            self._open_pane_scopes[group] = scope
+        self._accumulators = {}
+        for dump in state["accumulators"]:
+            window = WindowInstance(dump["window"][0], dump["window"][1])
+            group = tuple(dump["group"])
+            accumulator = WindowPaneAccumulator(self._pane_compiled)
+            accumulator.restore_state(dump)
+            self._accumulators.setdefault(window, {})[group] = accumulator
+        self.results = _load_results(state["results"])
+        self.collector.restore_counters(state["metrics"])
+
 
 class StreamingEngine:
     """Replays a stream against a compiled workload and collects results.
@@ -382,10 +681,24 @@ class StreamingEngine:
         """Whether :meth:`run` will take the pane-partitioned path."""
         return self.panes and self.panes_eligible(self.compiled.window)
 
+    def new_session(self) -> "EngineSession | PaneEngineSession":
+        """A fresh stepwise run session matching the engine's mode.
+
+        Sessions expose the run loop as ``step``/``finish`` plus the
+        ``export_state``/``restore_state`` checkpoint hooks; :meth:`run`
+        drives one internally, and the replay layer
+        (:mod:`repro.replay`) drives them directly to interleave pacing,
+        tracing, and checkpoint writes with the batch loop.
+        """
+        if self.uses_panes:
+            return PaneEngineSession(self)
+        return EngineSession(self)
+
     def run(
         self,
         stream: "EventStream | Iterable[Event]",
         on_batch=None,
+        session: "EngineSession | PaneEngineSession | None" = None,
     ) -> ExecutionReport:
         """Process the whole stream and return results plus metrics.
 
@@ -403,37 +716,20 @@ class StreamingEngine:
             the adaptive executor to monitor rates and trigger plan
             migration.  Time spent in the callback is excluded from the
             executor metrics.
+        session:
+            Continue an existing session (typically one restored from a
+            checkpoint) instead of starting fresh; the caller is responsible
+            for feeding a stream suffix the session has not consumed yet.
         """
-        if self.uses_panes:
-            return self._run_panes(stream, on_batch)
-        collector = MetricsCollector(
-            executor_name=self.name, memory_sample_interval=self.memory_sample_interval
-        )
-        results = ResultSet()
-        #: Active scopes: window instance -> group key -> scope.
-        scopes: dict[WindowInstance, dict[tuple, WindowGroupScope]] = {}
-        #: Retired scopes available for reuse under the current compiled workload.
-        pool: list[WindowGroupScope] = []
-        #: Scope index: the window instances containing the (monotone) batch
-        #: timestamp, maintained incrementally instead of re-derived per event.
-        cursor = WindowCursor(self.compiled.window)
-
+        if session is None:
+            session = self.new_session()
+        elif session.engine is not self:
+            raise ValueError("session belongs to a different engine")
+        collector = session.collector
         collector.start()
 
-        for timestamp, batch, groups in self._routed_batches(stream, collector):
-            self._finalize_expired(scopes, timestamp, results, collector, pool)
-
-            if groups:
-                compiled = self.compiled
-                windows = cursor.advance(timestamp)
-                for group, group_events in groups.items():
-                    for window in windows:
-                        group_scopes = scopes.setdefault(window, {})
-                        scope = group_scopes.get(group)
-                        if scope is None:
-                            scope = self._acquire_scope(pool, compiled, window, group)
-                            group_scopes[group] = scope
-                        scope.process_batch(group_events)
+        for timestamp, batch, groups in self.routed_batches(stream, collector):
+            session.step(timestamp, groups)
 
             if on_batch is not None:
                 collector.stop()
@@ -442,12 +738,10 @@ class StreamingEngine:
                 on_batch(timestamp, list(batch) if self.columnar else batch)
                 collector.start()
 
-        self._finalize_expired(scopes, None, results, collector, pool)
-        metrics = collector.finish()
-        return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
+        return session.finish()
 
     # -- batch routing ------------------------------------------------------------
-    def _routed_batches(self, stream, collector: MetricsCollector):
+    def routed_batches(self, stream, collector: MetricsCollector):
         """Yield ``(timestamp, batch_events, groups)`` for every timestamp batch.
 
         ``groups`` maps each group key to the batch's relevant events (in
@@ -481,62 +775,6 @@ class StreamingEngine:
                 yield timestamp, batch, groups
 
     # -- pane-partitioned mode ----------------------------------------------------
-    def _run_panes(self, stream, on_batch) -> ExecutionReport:
-        """Pane-partitioned run loop: each event is processed into one pane.
-
-        Exactly one pane is ever open (streams are timestamp-ordered); when
-        the stream time leaves it, its matrices are folded into the prefix
-        vectors of every covering window instance and dropped.  Windows
-        finalize when the stream time passes their end, which — window
-        boundaries being pane-aligned — is always after their last covering
-        pane closed.  Sharing plans do not apply in this mode: work is shared
-        across overlapping window instances (and across queries with equal
-        (pattern, aggregate) pairs) structurally.
-        """
-        pane_compiled = CompiledPaneWorkload(self.workload)
-        pane_width = self.compiled.window.pane_width
-        collector = MetricsCollector(
-            executor_name=self.name, memory_sample_interval=self.memory_sample_interval
-        )
-        results = ResultSet()
-        #: The single open pane: index plus one scope per group seen in it.
-        open_pane_index: "int | None" = None
-        open_pane_scopes: dict[tuple, PaneScope] = {}
-        #: Pane-fed prefix vectors: window instance -> group -> accumulator.
-        accumulators: dict[WindowInstance, dict[tuple, WindowPaneAccumulator]] = {}
-
-        collector.start()
-        for timestamp, batch, groups in self._routed_batches(stream, collector):
-            pane_index = timestamp // pane_width
-            if open_pane_index is not None and pane_index != open_pane_index:
-                self._close_pane(open_pane_index, open_pane_scopes, accumulators, collector)
-                open_pane_scopes = {}
-                open_pane_index = None
-            self._finalize_panes_expired(accumulators, timestamp, results, collector)
-
-            if groups:
-                open_pane_index = pane_index
-                for group, scope_events in groups.items():
-                    scope = open_pane_scopes.get(group)
-                    if scope is None:
-                        scope = PaneScope(pane_compiled, pane_index, group)
-                        open_pane_scopes[group] = scope
-                        collector.panes_created += 1
-                    scope.process_batch(scope_events)
-
-            if on_batch is not None:
-                collector.stop()
-                # Same aliasing caveat as the per-instance loop: cached
-                # columnar batches must not leak to mutating observers.
-                on_batch(timestamp, list(batch) if self.columnar else batch)
-                collector.start()
-
-        if open_pane_index is not None:
-            self._close_pane(open_pane_index, open_pane_scopes, accumulators, collector)
-        self._finalize_panes_expired(accumulators, None, results, collector)
-        metrics = collector.finish()
-        return ExecutionReport(results=results, metrics=metrics, plan=self.compiled.plan)
-
     def _close_pane(
         self,
         pane_index: int,

@@ -159,6 +159,44 @@ class MetricsCollector:
         """Record an externally measured footprint into the peak tracker."""
         self._memory.record(nbytes)
 
+    # -- checkpointing ------------------------------------------------------------
+    def export_counters(self) -> dict:
+        """Snapshot the deterministic counters as a JSON-safe dict.
+
+        Wall-clock time and peak memory are deliberately excluded: they are
+        environment observations, not stream-determined state, and a resumed
+        run re-measures them from its own start.  Everything exported here is
+        a pure function of the consumed stream, so it participates in replay
+        state hashes.
+        """
+        return {
+            "total_events": self.total_events,
+            "relevant_events": self.relevant_events,
+            "windows_finalized": self.windows_finalized,
+            "results_emitted": self.results_emitted,
+            "state_updates": self.state_updates,
+            "cohorts_created": self.cohorts_created,
+            "cohorts_merged": self.cohorts_merged,
+            "panes_created": self.panes_created,
+            "pane_merges": self.pane_merges,
+            "columnar_batches": self.columnar_batches,
+            "finalizations_seen": self._finalizations_seen,
+        }
+
+    def restore_counters(self, counters: dict) -> None:
+        """Restore counters exported by :meth:`export_counters`."""
+        self.total_events = counters["total_events"]
+        self.relevant_events = counters["relevant_events"]
+        self.windows_finalized = counters["windows_finalized"]
+        self.results_emitted = counters["results_emitted"]
+        self.state_updates = counters["state_updates"]
+        self.cohorts_created = counters["cohorts_created"]
+        self.cohorts_merged = counters["cohorts_merged"]
+        self.panes_created = counters["panes_created"]
+        self.pane_merges = counters["pane_merges"]
+        self.columnar_batches = counters["columnar_batches"]
+        self._finalizations_seen = counters["finalizations_seen"]
+
     # -- reporting ---------------------------------------------------------------
     def finish(self) -> RunMetrics:
         """Stop the timer and freeze the counters into a :class:`RunMetrics`."""

@@ -150,6 +150,30 @@ class PaneCountMatrix:
         count = vector[self.length]
         return AggregateState(count=count) if count else _ZERO
 
+    # -- checkpointing -----------------------------------------------------------
+    def export_cells(self) -> dict:
+        """Snapshot the triangular cells as nested int lists (JSON-safe)."""
+        return {"cells": [list(row) for row in self.cells], "updates": self.updates}
+
+    def restore_cells(self, state: dict) -> None:
+        """Restore :meth:`export_cells` output, re-compacting rows that fit.
+
+        Rows whose counts fit signed 64 bits go back into ``array('q')``
+        storage; overflowing rows restore as promoted big-int lists, exactly
+        mirroring the live promotion rule.
+        """
+        rows = state["cells"]
+        if len(rows) != self.length:
+            raise ValueError("snapshot row count does not match the pattern length")
+        restored: list["array | list[int]"] = []
+        for row in rows:
+            try:
+                restored.append(array("q", row))
+            except OverflowError:
+                restored.append(list(row))
+        self.cells[:] = restored
+        self.updates = state["updates"]
+
 
 class PaneStateMatrix:
     """General pane transition matrix over :class:`AggregateState` cells.
@@ -212,6 +236,22 @@ class PaneStateMatrix:
         """The full-pattern aggregate state accumulated in ``vector``."""
         return vector[self.length]
 
+    # -- checkpointing -----------------------------------------------------------
+    def export_cells(self) -> dict:
+        """Snapshot the triangular cells as nested state tuples (JSON-safe)."""
+        return {
+            "cells": [[state.as_tuple() for state in row] for row in self.cells],
+            "updates": self.updates,
+        }
+
+    def restore_cells(self, state: dict) -> None:
+        """Restore :meth:`export_cells` output."""
+        rows = state["cells"]
+        if len(rows) != self.length:
+            raise ValueError("snapshot row count does not match the pattern length")
+        self.cells[:] = [[AggregateState.from_tuple(value) for value in row] for row in rows]
+        self.updates = state["updates"]
+
 
 def make_pane_matrix(pattern: Pattern, spec: AggregateSpec) -> "PaneCountMatrix | PaneStateMatrix":
     """Pick the cheapest matrix representation for ``spec``."""
@@ -268,6 +308,16 @@ class CompiledPaneWorkload:
         self.patterns_by_type: dict[str, tuple[tuple[dict, tuple[MatrixKey, ...]], ...]] = {
             event_type: tuple(entries) for event_type, entries in index.items()
         }
+        #: Matrix keys in compilation order; snapshots reference matrices by
+        #: index into this tuple instead of serialising key objects.
+        self.matrix_keys: tuple[MatrixKey, ...] = tuple(self.matrix_infos)
+        self._key_index: dict[MatrixKey, int] = {
+            key: index for index, key in enumerate(self.matrix_keys)
+        }
+
+    def key_index(self, key: MatrixKey) -> int:
+        """Stable snapshot index of ``key`` (position in :attr:`matrix_keys`)."""
+        return self._key_index[key]
 
 
 class PaneScope:
@@ -313,6 +363,32 @@ class PaneScope:
         """Total matrix-cell updates this pane scope performed."""
         return sum(matrix.updates for matrix in self.matrices.values())
 
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the scope's live matrices, keyed by matrix index."""
+        compiled = self.compiled
+        return {
+            "pane_index": self.pane_index,
+            "group": list(self.group),
+            "matrices": [
+                [compiled.key_index(key), matrix.export_cells()]
+                for key, matrix in sorted(
+                    self.matrices.items(), key=lambda item: compiled.key_index(item[0])
+                )
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        compiled = self.compiled
+        self.matrices.clear()
+        for index, cells in state["matrices"]:
+            key = compiled.matrix_keys[index]
+            pattern, spec, _positions = compiled.matrix_infos[key]
+            matrix = make_pane_matrix(pattern, spec)
+            matrix.restore_cells(cells)
+            self.matrices[key] = matrix
+
 
 class WindowPaneAccumulator:
     """Prefix vectors of one window instance × group, fed pane by pane."""
@@ -336,6 +412,34 @@ class WindowPaneAccumulator:
             matrix.fold(vector)
             folds += 1
         return folds
+
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the prefix vectors, keyed by matrix index (JSON-safe)."""
+        compiled = self.compiled
+        dumped = []
+        for key, vector in sorted(
+            self.vectors.items(), key=lambda item: compiled.key_index(item[0])
+        ):
+            _pattern, spec, _positions = compiled.matrix_infos[key]
+            if spec.kind == AggregationKind.COUNT_STAR:
+                values: list = list(vector)
+            else:
+                values = [state.as_tuple() for state in vector]
+            dumped.append([compiled.key_index(key), values])
+        return {"vectors": dumped}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        compiled = self.compiled
+        self.vectors.clear()
+        for index, values in state["vectors"]:
+            key = compiled.matrix_keys[index]
+            _pattern, spec, _positions = compiled.matrix_infos[key]
+            if spec.kind == AggregationKind.COUNT_STAR:
+                self.vectors[key] = list(values)
+            else:
+                self.vectors[key] = [AggregateState.from_tuple(value) for value in values]
 
     def final_value(self, query_name: str):
         """The query's RETURN value for this window × group."""

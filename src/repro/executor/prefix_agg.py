@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..events.event import Event
+from ..events.log import event_from_record, event_to_record
 from ..queries.aggregates import AggregateSpec, AggregateState, AggregationKind
 from ..queries.pattern import Pattern
 
@@ -188,6 +189,31 @@ class PrivateSegmentState:
         """Aggregate over completed matches of the chain up to this segment."""
         return self.states[-1]
 
+    # -- checkpointing -----------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the per-position states as a JSON-safe dict.
+
+        Must be called between batches (nothing staged); the engine only
+        checkpoints at batch boundaries.
+        """
+        if self._staged is not None:
+            raise RuntimeError("export_state() must be called between batches")
+        return {
+            "states": [state.as_tuple() for state in self.states],
+            "updates": self.updates,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        values = state["states"]
+        if len(values) != len(self.states):
+            raise ValueError(
+                f"snapshot has {len(values)} positions, pattern has {len(self.states)}"
+            )
+        self.states[:] = [AggregateState.from_tuple(value) for value in values]
+        self._staged = None
+        self.updates = state["updates"]
+
     def reset(self) -> None:
         """Clear all aggregation state so the instance can serve a new scope."""
         states = self.states
@@ -274,6 +300,17 @@ class _StateColumns:
                     value = value.merge(column[cohort])
                 merged.append(value)
             column[:] = merged
+
+    def export_columns(self) -> list:
+        """The columns as nested lists of state tuples (JSON-safe)."""
+        return [[state.as_tuple() for state in column] for column in self.columns]
+
+    def restore_columns(self, columns: Sequence) -> None:
+        """Restore columns exported by :meth:`export_columns`."""
+        if len(columns) != len(self.columns):
+            raise ValueError("snapshot column count does not match the pattern length")
+        for position, values in enumerate(columns):
+            self.columns[position] = [AggregateState.from_tuple(value) for value in values]
 
     def clear(self) -> None:
         for column in self.columns:
@@ -368,6 +405,26 @@ class _CountColumns:
                     self.columns[position] = array("q", merged)
                 except OverflowError:
                     self.columns[position] = merged
+
+    def export_columns(self) -> list:
+        """The columns as nested lists of plain ints (JSON-safe, exact)."""
+        return [list(column) for column in self.columns]
+
+    def restore_columns(self, columns: Sequence) -> None:
+        """Restore columns exported by :meth:`export_columns`.
+
+        Each column goes back into compact ``array('q')`` storage unless a
+        restored count exceeds the 64-bit range, in which case the promoted
+        big-int list representation is restored instead — exactly mirroring
+        the live promotion rule.
+        """
+        if len(columns) != len(self.columns):
+            raise ValueError("snapshot column count does not match the pattern length")
+        for position, values in enumerate(columns):
+            try:
+                self.columns[position] = array("q", values)
+            except OverflowError:
+                self.columns[position] = list(values)
 
     def clear(self) -> None:
         columns = self.columns
@@ -619,6 +676,48 @@ class SharedSegmentState:
     def total_completed(self, spec: AggregateSpec) -> AggregateState:
         """Aggregate over all complete matches of the shared pattern so far."""
         return self._totals[spec]
+
+    # -- checkpointing ------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot cohorts, column families and totals as a JSON-safe dict.
+
+        Families and totals are listed in ``self.specs`` order (stable for a
+        given compiled workload), so the snapshot never needs to serialise
+        spec objects as keys.  Must be called between batches; anchor START
+        events are stored via the event-log record codec, so checkpointing
+        requires JSON-scalar attributes (the same contract as recording).
+        """
+        if self._staged is not None or self.staged_new_anchors:
+            raise RuntimeError("export_state() must be called between batches")
+        return {
+            "anchors": [event_to_record(event) for event in self.anchor_starts],
+            "families": [self._families[spec].export_columns() for spec in self.specs],
+            "totals": [self._totals[spec].as_tuple() for spec in self.specs],
+            "compact_threshold": self._compact_threshold,
+            "updates": self.updates,
+            "cohorts_created": self.cohorts_created,
+            "cohorts_merged": self.cohorts_merged,
+            "compactions": self.compactions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        Registered runners are kept; their own state is restored separately
+        by :meth:`~repro.executor.chained.SharedSegmentRunner.restore_state`.
+        """
+        self.anchor_starts[:] = [event_from_record(record) for record in state["anchors"]]
+        for spec, columns in zip(self.specs, state["families"]):
+            self._families[spec].restore_columns(columns)
+        for spec, total in zip(self.specs, state["totals"]):
+            self._totals[spec] = AggregateState.from_tuple(total)
+        self.staged_new_anchors = []
+        self._staged = None
+        self._compact_threshold = state["compact_threshold"]
+        self.updates = state["updates"]
+        self.cohorts_created = state["cohorts_created"]
+        self.cohorts_merged = state["cohorts_merged"]
+        self.compactions = state["compactions"]
 
     # -- pooling ------------------------------------------------------------------
     def reset(self) -> None:

@@ -34,10 +34,17 @@ future sessions can diff:
   count (the win is parallelism, so single-core runs record a ratio near or
   below 1× and the gate skips the speedup assertion there).
 
+* **Deterministic replay** — the dense-sharing stream recorded to a durable
+  JSONL event log and replayed through
+  :class:`~repro.replay.runner.ReplayRunner`; recorded as the ``replay``
+  section with the log's size and write throughput, replay vs live
+  throughput, the final state hash, and the replays-identical /
+  matches-live correctness flags (see ``docs/replay.md``).
+
 Run it with ``python -m repro bench`` (or ``make bench``), or through pytest
 via ``benchmarks/test_engine_throughput.py`` which asserts the scaling,
-sharing, compaction, pane, columnar-routing, and sharding properties on the
-same records.  The full record schema is documented in
+sharing, compaction, pane, columnar-routing, sharding, and replay
+properties on the same records.  The full record schema is documented in
 ``docs/benchmarks.md``.
 """
 
@@ -71,6 +78,7 @@ __all__ = [
     "CohortCompactionRecord",
     "PaneSharingRecord",
     "ColumnarRoutingRecord",
+    "ReplayBenchRecord",
     "ShardedGroupsRecord",
     "SCALE_FACTORS",
     "SHARD_BENCH_SHARDS",
@@ -83,6 +91,7 @@ __all__ = [
     "run_engine_benchmark",
     "run_compaction_benchmark",
     "run_pane_benchmark",
+    "run_replay_benchmark",
     "run_routing_benchmark",
     "run_sharding_benchmark",
     "write_bench_json",
@@ -199,6 +208,36 @@ class ColumnarRoutingRecord:
     columnar_batches: int
     columnar_on_events_per_sec: float
     columnar_off_events_per_sec: float
+    samples: int = 1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ReplayBenchRecord:
+    """The deterministic-replay section of ``BENCH_engine.json``.
+
+    Captures, on the dense-sharing scenario, the cost of the durable event
+    log and of replaying it: log size and write throughput, replay throughput
+    through :class:`~repro.replay.runner.ReplayRunner` next to the live
+    (in-memory stream) throughput, the final state hash, and two correctness
+    flags — ``replays_identical`` (``replays`` fresh replays all reached the
+    same state hash) and ``matches_live`` (replayed results equal the live
+    run's).  The gate in ``benchmarks/test_engine_throughput.py`` requires
+    both flags and a replay throughput within a constant factor of live.
+    """
+
+    scenario: str
+    events: int
+    log_bytes: int
+    record_events_per_sec: float
+    replay_events_per_sec: float
+    live_events_per_sec: float
+    state_hash: str
+    replays: int
+    replays_identical: bool
+    matches_live: bool
     samples: int = 1
 
     def to_json(self) -> dict:
@@ -723,6 +762,70 @@ def run_sharding_benchmark(
     )
 
 
+def run_replay_benchmark(repeats: int = 3, replays: int = 3) -> ReplayBenchRecord:
+    """Measure the durable event log and deterministic replay on the dense scenario.
+
+    Writes the dense-sharing stream to a JSONL event log (timed: the durable
+    recording cost), replays it ``repeats`` times through
+    :class:`~repro.replay.runner.ReplayRunner` (best-of, warm log), runs the
+    live in-memory engine for reference, then replays ``replays`` more times
+    from scratch and records whether every replay reached the same final
+    state hash and whether the replayed results equal the live run's.
+    """
+    import tempfile
+
+    from ..events.log import EventLogReader, write_event_log
+    from ..replay import ReplayRunner
+
+    workload, stream = dense_sharing_scenario()
+    window = workload[0].window
+    total = len(stream)
+    rates = RateCatalog.from_stream(stream, per="window", window_size=window.size)
+    plan = SharonExecutor(workload, rates=rates).plan
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        log_path = Path(tmpdir) / "bench-events.jsonl"
+        record_samples = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            write_event_log(stream, log_path, stream_name=stream.name)
+            record_samples.append(time.perf_counter() - started)
+        record_best = min(record_samples)
+        log_bytes = log_path.stat().st_size
+
+        reader = EventLogReader(log_path)
+        replay_samples = []
+        replay_report = None
+        for _ in range(repeats):
+            runner = ReplayRunner(workload, plan=plan, name="Replay")
+            started = time.perf_counter()
+            replay_report = runner.run(reader)
+            replay_samples.append(time.perf_counter() - started)
+        replay_best = min(replay_samples)
+
+        live_report, live_best, _ = _timed_run(
+            SharonExecutor(workload, plan=plan), stream, repeats
+        )
+
+        hashes = {replay_report.state_hash}
+        for _ in range(replays - 1):
+            hashes.add(ReplayRunner(workload, plan=plan).run(reader).state_hash)
+
+    return ReplayBenchRecord(
+        scenario="dense-sharing-replay",
+        events=total,
+        log_bytes=log_bytes,
+        record_events_per_sec=round(total / record_best if record_best > 0 else float(total), 1),
+        replay_events_per_sec=round(total / replay_best if replay_best > 0 else float(total), 1),
+        live_events_per_sec=round(total / live_best if live_best > 0 else float(total), 1),
+        state_hash=replay_report.state_hash,
+        replays=replays,
+        replays_identical=len(hashes) == 1,
+        matches_live=live_report.results.matches(replay_report.results),
+        samples=repeats,
+    )
+
+
 def write_bench_json(
     records: list[BenchRecord],
     path: "str | Path" = DEFAULT_BENCH_PATH,
@@ -730,6 +833,7 @@ def write_bench_json(
     pane_sharing: "PaneSharingRecord | None" = None,
     columnar_routing: "ColumnarRoutingRecord | None" = None,
     sharded_groups: "ShardedGroupsRecord | None" = None,
+    replay: "ReplayBenchRecord | None" = None,
 ) -> Path:
     """Write the records as the machine-readable ``BENCH_engine.json``."""
     payload = {
@@ -745,6 +849,8 @@ def write_bench_json(
         payload["columnar_routing"] = columnar_routing.to_json()
     if sharded_groups is not None:
         payload["sharded_groups"] = sharded_groups.to_json()
+    if replay is not None:
+        payload["replay"] = replay.to_json()
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

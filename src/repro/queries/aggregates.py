@@ -345,6 +345,25 @@ class AggregateState:
     def is_zero(self) -> bool:
         return self.count == 0
 
+    # -- snapshot codec -------------------------------------------------------
+    def as_tuple(self) -> tuple:
+        """The state as a ``(count, target_count, total, min, max)`` tuple.
+
+        This is the canonical JSON-safe snapshot leaf used by the engine's
+        checkpoint/restore machinery (every field is an int, float or None,
+        and Python's JSON codec round-trips all of them exactly).
+        """
+        return (self.count, self.target_count, self.total, self.minimum, self.maximum)
+
+    @classmethod
+    def from_tuple(cls, values: Sequence) -> "AggregateState":
+        """Rebuild a state from :meth:`as_tuple` output (lists accepted)."""
+        state = cls(*values)
+        if state.count == 0 and state == _ZERO_STATE:
+            # Restore the shared identity so merge() fast paths keep firing.
+            return _ZERO_STATE
+        return state
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"AggregateState(count={self.count}, target_count={self.target_count}, "

@@ -1,0 +1,302 @@
+"""ReplayRunner: feed a recorded event log through the engine, reproducibly.
+
+The runner wraps a :class:`~repro.executor.engine.StreamingEngine` in the
+stepwise session API so that pacing, tracing, and checkpointing interleave
+with the batch loop:
+
+* events enter through the engine's normal ingestion path — columnar
+  micro-batches or scalar ``timestamp_batches`` — so a replayed run takes
+  exactly the code path a live run would;
+* pacing (``realtime`` or ``Nx``) sleeps between timestamp batches with the
+  metrics timer paused, so throughput numbers measure engine work, not
+  sleep time;
+* every ``checkpoint_every`` batches the session state is snapshotted to a
+  checkpoint file; resuming from one and consuming the rest of the log is
+  byte-identical to a full replay (the replay determinism suite pins this).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..core.benefit import BenefitModel
+from ..core.optimizer import SharonOptimizer
+from ..core.plan import SharingPlan
+from ..events.event import Event
+from ..events.log import EventLogReader
+from ..events.stream import EventStream
+from ..executor.engine import ExecutionReport, StreamingEngine
+from ..queries.workload import Workload
+from ..utils.rates import RateCatalog
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    workload_fingerprint,
+)
+from .trace import ReplayTrace, state_hash
+
+__all__ = ["ReplayRunner", "ReplayReport"]
+
+
+def _parse_speed(speed: "str | float | int") -> float:
+    """Normalise a speed spec to a sleep factor (seconds per stream time unit).
+
+    ``"instant"`` (or any non-positive multiplier) means no pacing;
+    ``"realtime"`` is one second per time unit; ``"4x"``/``4`` replays four
+    stream time units per wall-clock second.
+    """
+    if isinstance(speed, str):
+        text = speed.strip().lower()
+        if text == "instant":
+            return 0.0
+        if text == "realtime":
+            return 1.0
+        if text.endswith("x"):
+            text = text[:-1]
+        try:
+            multiplier = float(text)
+        except ValueError:
+            raise ValueError(
+                f"unsupported replay speed {speed!r} (use 'instant', 'realtime', or e.g. '4x')"
+            ) from None
+    else:
+        multiplier = float(speed)
+    if multiplier <= 0:
+        return 0.0
+    return 1.0 / multiplier
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay produced, beyond the engine's own report."""
+
+    report: ExecutionReport
+    #: sha256 of the session's final exported state (results + counters +
+    #: residual engine state); two replays of the same log agree iff equal.
+    state_hash: str
+    #: Events consumed by this run (excludes events skipped by a resume).
+    events_replayed: int
+    #: Timestamp batches processed by this run.
+    batches: int
+    #: Checkpoint files written during the run, in write order.
+    checkpoints: list[Path] = field(default_factory=list)
+    #: Per-batch state-hash trace (only when tracing was requested).
+    trace: Optional[ReplayTrace] = None
+
+    @property
+    def results(self):
+        """The engine's result set (convenience passthrough)."""
+        return self.report.results
+
+    @property
+    def metrics(self):
+        """The engine's run metrics (convenience passthrough)."""
+        return self.report.metrics
+
+
+class ReplayRunner:
+    """Replays recorded event logs through a deterministic engine.
+
+    Parameters
+    ----------
+    workload:
+        The uniform workload to evaluate (must match the one used when any
+        checkpoint being resumed was taken; enforced via fingerprint).
+    plan:
+        Sharing plan to execute under.  When omitted, a plan is optimized
+        from ``rates`` if given, else the empty plan is used (Non-Shared
+        evaluation — still deterministic, just unshared).
+    rates:
+        Rate catalog used to optimize when no plan is given.
+    compaction / panes / columnar / memory_sample_interval:
+        Engine toggles, with :class:`~repro.executor.shared.SharonExecutor`
+        semantics.  They are part of the determinism contract: checkpoints
+        record them and refuse to resume under a different configuration.
+
+    Sharded execution is intentionally not supported here: replay targets
+    the in-process engine whose state is fully snapshotable; sharded crash
+    recovery composes on top of per-shard logs (see ROADMAP).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        plan: "SharingPlan | None" = None,
+        rates: "RateCatalog | BenefitModel | None" = None,
+        name: str = "Replay",
+        compaction: bool = True,
+        panes: bool = False,
+        columnar: bool = True,
+        memory_sample_interval: int = 0,
+    ) -> None:
+        if plan is None:
+            plan = (
+                SharonOptimizer(rates).optimize(workload).plan if rates is not None else SharingPlan()
+            )
+        self.workload = workload
+        self.plan = plan
+        self.engine = StreamingEngine(
+            workload,
+            plan=plan,
+            name=name,
+            memory_sample_interval=memory_sample_interval,
+            compaction=compaction,
+            panes=panes,
+            columnar=columnar,
+        )
+        self.fingerprint = workload_fingerprint(workload, plan)
+
+    @property
+    def engine_config(self) -> dict:
+        """The toggle set recorded into (and validated against) checkpoints."""
+        engine = self.engine
+        return {
+            "mode": "panes" if engine.uses_panes else "instances",
+            "columnar": engine.columnar,
+            "compaction": engine.compaction,
+        }
+
+    # -- source handling ---------------------------------------------------------
+    @staticmethod
+    def _event_source(source, skip: int) -> Iterable[Event]:
+        """Resolve a replay source to an event iterable, skipping ``skip`` events."""
+        if isinstance(source, (str, Path)):
+            source = EventLogReader(source)
+        if isinstance(source, EventLogReader):
+            return source.events_from(skip)
+        if skip:
+            return islice(iter(source), skip, None)
+        return source
+
+    # -- the run loop -------------------------------------------------------------
+    def run(
+        self,
+        source: "str | Path | EventLogReader | EventStream | Iterable[Event]",
+        speed: "str | float" = "instant",
+        checkpoint_every: int = 0,
+        checkpoint_dir: "str | Path | None" = None,
+        resume_from: "str | Path | Checkpoint | None" = None,
+        trace: "ReplayTrace | bool | None" = None,
+        on_batch=None,
+    ) -> ReplayReport:
+        """Replay ``source`` to completion and report results + state hash.
+
+        Parameters
+        ----------
+        source:
+            An event-log path, an open :class:`~repro.events.log.EventLogReader`,
+            an :class:`~repro.events.stream.EventStream`, or any
+            timestamp-ordered event iterable.
+        speed:
+            ``"instant"`` (default), ``"realtime"``, or an ``Nx`` multiplier
+            (``"4x"``, ``2.5``): sleeps between timestamp batches so stream
+            time advances N units per wall-clock second.  Sleeping happens
+            with the metrics timer paused.
+        checkpoint_every:
+            Write a checkpoint after every N timestamp batches (0 disables).
+            Requires ``checkpoint_dir``.
+        checkpoint_dir:
+            Directory for ``checkpoint-<events>.json`` files (created if
+            missing).
+        resume_from:
+            A checkpoint (object or file path) to restore before consuming
+            the rest of the log; its fingerprint and engine config must
+            match this runner's.
+        trace:
+            ``True`` (record a fresh :class:`~repro.replay.trace.ReplayTrace`)
+            or an existing trace to append to.  Hashing the full state every
+            batch is expensive — it is a debugging tool, not a fast path.
+        on_batch:
+            Optional callback forwarded to the engine loop semantics:
+            ``on_batch(timestamp, batch_events)`` after each processed batch
+            (timer paused).
+        """
+        engine = self.engine
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every needs a checkpoint_dir")
+
+        session = engine.new_session()
+        events_consumed = 0
+        if resume_from is not None:
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, Checkpoint)
+                else load_checkpoint(resume_from)
+            )
+            checkpoint.validate_against(self.fingerprint, self.engine_config)
+            session.restore_state(checkpoint.engine_state)
+            events_consumed = checkpoint.events_consumed
+
+        replay_trace: "ReplayTrace | None"
+        if trace is True:
+            replay_trace = ReplayTrace()
+        else:
+            replay_trace = trace or None
+
+        if checkpoint_dir is not None:
+            checkpoint_dir = Path(checkpoint_dir)
+            checkpoint_dir.mkdir(parents=True, exist_ok=True)
+
+        sleep_per_unit = _parse_speed(speed)
+        events = self._event_source(source, events_consumed)
+        skipped = events_consumed
+        collector = session.collector
+        checkpoints: list[Path] = []
+        batches = 0
+        last_timestamp: "int | None" = None
+
+        collector.start()
+        for timestamp, batch, groups in engine.routed_batches(events, collector):
+            if sleep_per_unit and last_timestamp is not None and timestamp > last_timestamp:
+                collector.stop()
+                time.sleep((timestamp - last_timestamp) * sleep_per_unit)
+                collector.start()
+
+            session.step(timestamp, groups)
+            events_consumed += len(batch)
+            batches += 1
+            last_timestamp = timestamp
+
+            if on_batch is not None:
+                collector.stop()
+                on_batch(timestamp, list(batch) if engine.columnar else batch)
+                collector.start()
+
+            if replay_trace is not None:
+                collector.stop()
+                replay_trace.record(timestamp, events_consumed, session)
+                collector.start()
+
+            if checkpoint_every and batches % checkpoint_every == 0:
+                collector.stop()
+                path = checkpoint_dir / f"checkpoint-{events_consumed:09d}.json"
+                save_checkpoint(
+                    Checkpoint(
+                        events_consumed=events_consumed,
+                        last_timestamp=timestamp,
+                        workload_fingerprint=self.fingerprint,
+                        engine_config=self.engine_config,
+                        engine_state=session.export_state(),
+                    ),
+                    path,
+                )
+                checkpoints.append(path)
+                collector.start()
+
+        report = session.finish()
+        final_hash = state_hash(session)
+        return ReplayReport(
+            report=report,
+            state_hash=final_hash,
+            events_replayed=events_consumed - skipped,
+            batches=batches,
+            checkpoints=checkpoints,
+            trace=replay_trace,
+        )

@@ -34,6 +34,7 @@ DOCUMENTED_KNOBS = {
     "ORACLE_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
     "PANE_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
     "SHARDED_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
+    "REPLAY_DIFF_SCENARIOS": "tests/integration/test_replay_determinism.py",
     "COLUMNAR_BENCH_REPEATS": "src/repro/experiments/bench.py",
 }
 

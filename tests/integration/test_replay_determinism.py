@@ -1,0 +1,158 @@
+"""Replay determinism suite: recorded logs must replay byte-identically.
+
+The replay subsystem (:mod:`repro.replay`) promises three things, each pinned
+here on top of the unit-level codec tests:
+
+1. **Replay is a pure function of the log.**  Replaying the same recorded
+   event log through a freshly built engine 100 times must reach the same
+   final state hash every single time (the hash covers results, metrics
+   counters, and all residual engine state — see ``docs/replay.md``).
+2. **Resume ≡ full replay.**  Restoring any mid-run checkpoint and
+   consuming the rest of the log must land in a final state byte-identical
+   to an uninterrupted replay — across the engine's whole toggle cube
+   (pane-partitioned × columnar × compaction), because each toggle routes
+   state through different snapshot layers (pane matrices vs window scopes,
+   ``array('q')`` columns vs state tuples, compacted vs raw cohorts).
+3. **Zero divergence vs the oracle.**  On a randomized scenario grid
+   (shapes drawn by :func:`repro.datasets.random_scenario`, plans by the
+   shared ``random_maximal_plan`` builder), results replayed from a log must
+   equal the brute-force :class:`repro.executor.OracleExecutor` on the
+   original in-memory stream — the log neither drops, duplicates, nor
+   reorders anything the engine can observe.
+
+Grid size is controlled by the ``REPLAY_DIFF_SCENARIOS`` environment
+variable (default 60; CI may reduce it, the Makefile exports it).  Seeds are
+fixed so every run is reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import random_scenario
+from repro.events.log import EventLogReader, write_event_log
+from repro.executor import OracleExecutor
+from repro.replay import ReplayRunner, ReplayTrace, first_divergence, load_checkpoint
+
+from ..conftest import random_maximal_plan
+
+#: Randomized scenarios replayed from a log and compared to the oracle.
+NUM_REPLAY_SCENARIOS = int(os.environ.get("REPLAY_DIFF_SCENARIOS", "60"))
+
+#: Parallel-friendly chunking of the scenario grid (mirrors the oracle harness).
+NUM_BLOCKS = 6
+
+#: Full replays of one log in the determinism stress test.
+NUM_IDENTICAL_REPLAYS = 100
+
+
+def scenario_with_log(seed: int, tmp_path, pane_stress: bool = False):
+    """One recorded scenario: (workload, stream, plan, log path)."""
+    workload, stream = random_scenario(seed, pane_stress=pane_stress)
+    plan = random_maximal_plan(workload, seed)
+    log_path = tmp_path / f"scenario-{seed}.jsonl"
+    write_event_log(stream, log_path, stream_name=stream.name)
+    return workload, stream, plan, log_path
+
+
+def test_replay_hash_identical_100_times(tmp_path):
+    """One log, 100 fresh engines, exactly one distinct final state hash."""
+    workload, _, plan, log_path = scenario_with_log(3, tmp_path)
+    reader = EventLogReader(log_path)
+    hashes = {
+        ReplayRunner(workload, plan=plan).run(reader).state_hash
+        for _ in range(NUM_IDENTICAL_REPLAYS)
+    }
+    assert len(hashes) == 1, (
+        f"{NUM_IDENTICAL_REPLAYS} replays of the same log produced "
+        f"{len(hashes)} distinct final states: {sorted(hashes)}"
+    )
+
+
+@pytest.mark.parametrize("compaction", [True, False], ids=["compact", "no-compact"])
+@pytest.mark.parametrize("columnar", [True, False], ids=["columnar", "scalar"])
+@pytest.mark.parametrize("panes", [True, False], ids=["panes", "instances"])
+def test_resume_from_every_checkpoint_matches_full_replay(
+    panes, columnar, compaction, tmp_path
+):
+    """Resume-from-checkpoint must byte-match a full replay, for every
+    checkpoint taken, across the engine's whole toggle cube."""
+    workload, _, plan, log_path = scenario_with_log(11, tmp_path, pane_stress=panes)
+
+    def runner():
+        return ReplayRunner(
+            workload, plan=plan, panes=panes, columnar=columnar, compaction=compaction
+        )
+
+    full = runner().run(log_path, trace=True)
+    checkpointed = runner().run(
+        log_path, checkpoint_every=2, checkpoint_dir=tmp_path / "cks"
+    )
+    assert checkpointed.state_hash == full.state_hash
+    assert checkpointed.checkpoints, "scenario too small to take any checkpoint"
+
+    for checkpoint_path in checkpointed.checkpoints:
+        resumed = runner().run(log_path, resume_from=checkpoint_path, trace=True)
+        assert resumed.state_hash == full.state_hash, (
+            f"resume from {checkpoint_path.name} diverged from the full replay "
+            f"(panes={panes}, columnar={columnar}, compaction={compaction})"
+        )
+        # The resumed trace must be the tail of the full trace: same hashes
+        # at the same stream positions, not merely the same final state.
+        checkpoint = load_checkpoint(checkpoint_path)
+        skipped_batches = len(full.trace) - len(resumed.trace)
+        tail = ReplayTrace(full.trace.entries[skipped_batches:])
+        assert first_divergence(tail, resumed.trace) is None
+        assert checkpoint.events_consumed + resumed.events_replayed == full.events_replayed
+
+
+def test_paced_replay_matches_instant(tmp_path):
+    """Pacing (Nx sleeps) must not change what the engine computes."""
+    workload, _, plan, log_path = scenario_with_log(5, tmp_path)
+    instant = ReplayRunner(workload, plan=plan).run(log_path)
+    paced = ReplayRunner(workload, plan=plan).run(log_path, speed="1000000x")
+    assert paced.state_hash == instant.state_hash
+
+
+@pytest.mark.parametrize("block", range(NUM_BLOCKS))
+def test_replayed_results_match_oracle_on_randomized_grid(block, tmp_path):
+    """Replaying a recorded log must reproduce the oracle's results exactly.
+
+    Each scenario is recorded to a log, replayed twice (hash-compared), once
+    more from a mid-run checkpoint (hash-compared), and its results are
+    checked against the brute-force oracle run on the original in-memory
+    stream — so any log codec bug, ingestion-path skew, or snapshot drift
+    shows up as a divergence with the seed in the failure message.
+    """
+    per_block = (NUM_REPLAY_SCENARIOS + NUM_BLOCKS - 1) // NUM_BLOCKS
+    for offset in range(per_block):
+        seed = block * per_block + offset
+        if seed >= NUM_REPLAY_SCENARIOS:
+            break
+        workload, stream, plan, log_path = scenario_with_log(seed, tmp_path)
+        panes = bool(seed % 2)  # alternate engine modes across the grid
+
+        def runner():
+            return ReplayRunner(workload, plan=plan, panes=panes)
+
+        first = runner().run(
+            log_path, checkpoint_every=3, checkpoint_dir=tmp_path / f"cks-{seed}"
+        )
+        second = runner().run(log_path)
+        assert first.state_hash == second.state_hash, f"seed {seed}: replay not deterministic"
+
+        if first.checkpoints:
+            middle = first.checkpoints[len(first.checkpoints) // 2]
+            resumed = runner().run(log_path, resume_from=middle)
+            assert resumed.state_hash == first.state_hash, (
+                f"seed {seed}: resume from {middle.name} diverged"
+            )
+
+        oracle = OracleExecutor(workload).run(stream).results
+        differences = oracle.differences(first.report.results)
+        assert not differences, (
+            f"seed {seed} (panes={panes}): replayed results diverge from the "
+            f"oracle; first differences (key, oracle, replay): {differences[:5]}"
+        )

@@ -168,7 +168,7 @@ class TestCommands:
     def test_bench_command_writes_json(self, tmp_path, capsys, monkeypatch):
         import json
 
-        from repro.experiments import BenchRecord, ShardedGroupsRecord
+        from repro.experiments import BenchRecord, ReplayBenchRecord, ShardedGroupsRecord
 
         # Substitute canned measurements so the CLI test stays fast and
         # deterministic; the real benchmarks are exercised by
@@ -193,16 +193,153 @@ class TestCommands:
             sharded_events_per_sec=20_000.0,
             unsharded_events_per_sec=10_000.0,
         )
+        replay = ReplayBenchRecord(
+            scenario="dense-sharing-replay",
+            events=100,
+            log_bytes=8_000,
+            record_events_per_sec=50_000.0,
+            replay_events_per_sec=9_000.0,
+            live_events_per_sec=10_000.0,
+            state_hash="ab" * 32,
+            replays=3,
+            replays_identical=True,
+            matches_live=True,
+        )
         monkeypatch.setattr("repro.experiments.run_engine_benchmark", lambda: [record])
         monkeypatch.setattr("repro.experiments.run_sharding_benchmark", lambda: sharded)
+        monkeypatch.setattr("repro.experiments.run_replay_benchmark", lambda: replay)
         output = tmp_path / "BENCH_engine.json"
         exit_code = main(["bench", "--output", str(output)])
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "Engine throughput benchmark" in captured.out
         assert "Sharded groups" in captured.out
+        assert "Deterministic replay" in captured.out
         payload = json.loads(output.read_text(encoding="utf-8"))
         assert payload["benchmark"] == "engine-throughput"
         assert payload["results"][0]["scenario"] == "scale-1x"
         assert payload["sharded_groups"]["shards"] == 4
         assert payload["sharded_groups"]["groups_per_shard"] == [2, 2, 2, 2]
+        assert payload["replay"]["replays_identical"] is True
+        assert payload["replay"]["matches_live"] is True
+
+
+class TestReplayCommands:
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        log_path = tmp_path / "events.jsonl"
+        exit_code = main(
+            [
+                "record",
+                "--dataset", "taxi",
+                "--duration", "40",
+                "--rate", "4",
+                "--output", str(log_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Recorded 160 events" in captured.out
+        assert log_path.is_file()
+
+        exit_code = main(
+            ["replay", "--log", str(log_path), "--workload", "traffic", "--repeat", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "state hash:" in captured.out
+        assert "2 replays produced byte-identical final state" in captured.out
+
+    def test_replay_checkpoint_resume_and_trace(self, tmp_path, capsys):
+        log_path = tmp_path / "events.jsonl"
+        main(["record", "--duration", "40", "--rate", "4", "--output", str(log_path)])
+        capsys.readouterr()
+
+        checkpoint_dir = tmp_path / "cks"
+        trace_path = tmp_path / "trace.jsonl"
+        exit_code = main(
+            [
+                "replay",
+                "--log", str(log_path),
+                "--workload", "traffic",
+                "--checkpoint-every", "10",
+                "--checkpoint-dir", str(checkpoint_dir),
+                "--trace", str(trace_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "checkpoints" in captured.out
+        full_hash = [
+            line for line in captured.out.splitlines() if line.startswith("state hash:")
+        ][0]
+        checkpoints = sorted(checkpoint_dir.glob("checkpoint-*.json"))
+        assert checkpoints and trace_path.is_file()
+
+        exit_code = main(
+            [
+                "replay",
+                "--log", str(log_path),
+                "--workload", "traffic",
+                "--resume", str(checkpoints[0]),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "resumed from" in captured.out
+        assert full_hash in captured.out  # resume reaches the full-replay state
+
+    def test_replay_rejects_bad_arguments(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        main(["record", "--duration", "10", "--rate", "2", "--output", str(log_path)])
+        with pytest.raises(SystemExit):
+            main(["replay", "--log", str(log_path), "--repeat", "0"])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "replay",
+                    "--log", str(log_path),
+                    "--repeat", "2",
+                    "--resume", str(tmp_path / "nope.json"),
+                ]
+            )
+
+    def test_run_record_and_checkpoint_every(self, tmp_path, capsys):
+        log_path = tmp_path / "run.jsonl"
+        checkpoint_dir = tmp_path / "cks"
+        exit_code = main(
+            [
+                "run",
+                "--workload", "traffic",
+                "--duration", "40",
+                "--rate", "4",
+                "--record", str(log_path),
+                "--checkpoint-every", "15",
+                "--checkpoint-dir", str(checkpoint_dir),
+                "--limit", "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert f"Recorded 160 events to {log_path}" in captured.out
+        assert "state hash:" in captured.out
+        assert list(checkpoint_dir.glob("checkpoint-*.json"))
+
+    def test_run_checkpoint_every_requires_sharon_in_process(self, tmp_path):
+        with pytest.raises(SystemExit, match="checkpoint-every"):
+            main(
+                [
+                    "run",
+                    "--workload", "traffic",
+                    "--executor", "aseq",
+                    "--checkpoint-every", "5",
+                ]
+            )
+        with pytest.raises(SystemExit, match="checkpoint-every"):
+            main(
+                [
+                    "run",
+                    "--workload", "traffic",
+                    "--shards", "2",
+                    "--checkpoint-every", "5",
+                ]
+            )

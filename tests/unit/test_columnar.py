@@ -169,7 +169,7 @@ class TestColumnarBatches:
         assert sum(b.size for b in batches) == total
         assert [b.group_keys[0] for b in batches[:3]] == [(0,), (1,), (2,)]
 
-    def test_cache_bounded_fifo_across_layouts(self):
+    def test_cache_bounded_lru_across_layouts(self):
         from repro.events.stream import _COLUMNAR_CACHE_LIMIT
 
         stream = EventStream(make_events([("A", 0, {})]))
@@ -178,8 +178,46 @@ class TestColumnarBatches:
         for index in range(_COLUMNAR_CACHE_LIMIT):
             stream.columnar_batches(ColumnLayout(("A",), attributes=(f"x{index}",)))
         assert len(stream._columnar_cache) == _COLUMNAR_CACHE_LIMIT
-        # The oldest entry was evicted: a fresh request rebuilds it.
+        # The least-recently-used entry was evicted: a fresh request rebuilds it.
         assert stream.columnar_batches(first_layout) is not first
+
+    def test_cache_hit_refreshes_lru_order(self):
+        """A cache hit must move the layout to most-recently-used.
+
+        Regression: eviction used to be FIFO (insertion order), so a hot
+        layout — re-requested on every engine run — was still evicted once
+        enough cold layouts had passed through, forcing the hot workload to
+        re-extract its columns.  With LRU, touching the hot layout keeps it
+        resident while the cold layouts churn.
+        """
+        from repro.events.stream import _COLUMNAR_CACHE_LIMIT
+
+        stream = EventStream(make_events([("A", 0, {})]))
+        hot_layout = ColumnLayout(("A",), attributes=("hot",))
+        hot = stream.columnar_batches(hot_layout)
+        # Interleave cold layouts with hot-layout hits; the hit must refresh
+        # the hot entry so it survives more cold insertions than the cache
+        # could otherwise hold.
+        for index in range(_COLUMNAR_CACHE_LIMIT * 3):
+            stream.columnar_batches(ColumnLayout(("A",), attributes=(f"cold{index}",)))
+            assert stream.columnar_batches(hot_layout) is hot
+        assert len(stream._columnar_cache) == _COLUMNAR_CACHE_LIMIT
+
+    def test_cache_eviction_order_is_lru_not_fifo(self):
+        """Pin the exact eviction order: oldest-*used*, not oldest-*inserted*."""
+        from repro.events.stream import _COLUMNAR_CACHE_LIMIT
+
+        stream = EventStream(make_events([("A", 0, {})]))
+        layouts = [
+            ColumnLayout(("A",), attributes=(f"l{index}",))
+            for index in range(_COLUMNAR_CACHE_LIMIT)
+        ]
+        built = [stream.columnar_batches(layout) for layout in layouts]
+        # Touch the first-inserted layout, making the *second* the LRU entry.
+        assert stream.columnar_batches(layouts[0]) is built[0]
+        stream.columnar_batches(ColumnLayout(("A",), attributes=("overflow",)))
+        assert stream.columnar_batches(layouts[0]) is built[0]  # survived (refreshed)
+        assert stream.columnar_batches(layouts[1]) is not built[1]  # evicted (LRU)
 
     def test_columnar_batches_dispatches_to_stream_cache(self):
         layout = ColumnLayout(("A",))
