@@ -9,14 +9,18 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 ##   SHARDED_DIFF_SCENARIOS  - scenarios replayed through the group-sharded engine
 ##   REPLAY_DIFF_SCENARIOS   - recorded-log scenarios replayed, checkpointed,
 ##                             resumed, and compared to the oracle
+##   DISORDER_DIFF_SCENARIOS - scenarios delivered in bounded-disorder arrival
+##                             orders through the reorder buffer
 ORACLE_DIFF_SCENARIOS ?= 240
 PANE_DIFF_SCENARIOS ?= 120
 SHARDED_DIFF_SCENARIOS ?= 40
 REPLAY_DIFF_SCENARIOS ?= 60
+DISORDER_DIFF_SCENARIOS ?= 60
 export ORACLE_DIFF_SCENARIOS
 export PANE_DIFF_SCENARIOS
 export SHARDED_DIFF_SCENARIOS
 export REPLAY_DIFF_SCENARIOS
+export DISORDER_DIFF_SCENARIOS
 
 ## Best-of-N sample count of the columnar_routing benchmark section
 ## (BENCH_engine.json and the benchmarks/test_engine_throughput.py gate).

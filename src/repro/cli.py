@@ -136,20 +136,33 @@ OPTIMIZERS = {
 }
 
 EXECUTORS = {
-    "sharon": lambda workload, plan, shards: SharonExecutor(
-        workload, plan=plan, memory_sample_interval=8, shards=shards
+    "sharon": lambda workload, plan, args: SharonExecutor(
+        workload,
+        plan=plan,
+        memory_sample_interval=8,
+        shards=args.shards,
+        max_lateness=args.max_lateness,
+        late_policy=args.late_policy,
     ),
-    "aseq": lambda workload, plan, shards: ASeqExecutor(
-        workload, memory_sample_interval=8, shards=shards
+    "aseq": lambda workload, plan, args: ASeqExecutor(
+        workload,
+        memory_sample_interval=8,
+        shards=args.shards,
+        max_lateness=args.max_lateness,
+        late_policy=args.late_policy,
     ),
-    "flink": lambda workload, plan, shards: FlinkLikeExecutor(workload, memory_sample_interval=8),
-    "spass": lambda workload, plan, shards: SpassLikeExecutor(
+    "flink": lambda workload, plan, args: FlinkLikeExecutor(workload, memory_sample_interval=8),
+    "spass": lambda workload, plan, args: SpassLikeExecutor(
         workload, plan=plan, memory_sample_interval=8
     ),
 }
 
 #: Executors that understand group-sharded parallel execution (``--shards``).
 SHARDABLE_EXECUTORS = ("sharon", "aseq")
+
+#: Executors that understand disorder tolerance (``--max-lateness``); the
+#: same engine-backed pair, since the reorder buffer lives in the engine.
+DISORDER_EXECUTORS = SHARDABLE_EXECUTORS
 
 
 # ---------------------------------------------------------------------------
@@ -195,6 +208,18 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "--checkpoint-every requires the in-process sharon executor "
                 "(checkpointing snapshots the single-process engine; see docs/replay.md)"
             )
+    if args.max_lateness is not None:
+        if args.executor not in DISORDER_EXECUTORS:
+            raise SystemExit(
+                f"--max-lateness is only supported by the engine-backed executors "
+                f"{DISORDER_EXECUTORS}, not {args.executor!r}"
+            )
+        if args.shards > 1:
+            raise SystemExit(
+                "--max-lateness cannot be combined with --shards > 1 "
+                "(the shard splitter consumes the stream in timestamp order; "
+                "see docs/disorder.md)"
+            )
     workload = resolve_workload(args)
     stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
     if args.record:
@@ -207,7 +232,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.checkpoint_every:
         from .replay import ReplayRunner
 
-        runner = ReplayRunner(workload, plan=plan, name="Sharon")
+        runner = ReplayRunner(
+            workload,
+            plan=plan,
+            name="Sharon",
+            max_lateness=args.max_lateness,
+            late_policy=args.late_policy,
+        )
         replay_report = runner.run(
             stream,
             checkpoint_every=args.checkpoint_every,
@@ -220,10 +251,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"(every {args.checkpoint_every} batches) to {args.checkpoint_dir}"
         )
     else:
-        executor = EXECUTORS[args.executor](workload, plan, args.shards)
+        executor = EXECUTORS[args.executor](workload, plan, args)
         report = executor.run(stream)
 
     print(report.metrics.summary())
+    if report.metrics.events_late:
+        print(
+            f"late events beyond --max-lateness: {report.metrics.events_late} "
+            f"({report.metrics.events_dropped} dropped)"
+        )
     if report.metrics.shards > 1:
         print(
             f"sharded across {report.metrics.shards} worker processes: "
@@ -302,6 +338,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
             compaction=not args.no_compaction,
             panes=args.panes,
             columnar=not args.no_columnar,
+            max_lateness=args.max_lateness,
+            late_policy=args.late_policy,
         )
 
     replay_report = make_runner().run(
@@ -345,6 +383,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import (
         run_compaction_benchmark,
+        run_disorder_benchmark,
         run_engine_benchmark,
         run_pane_benchmark,
         run_replay_benchmark,
@@ -466,6 +505,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Deterministic replay",
         )
     )
+    disorder = run_disorder_benchmark()
+    print(
+        format_table(
+            ["scenario", "events", "lateness", "ev/s plain", "ev/s buffered", "ev/s shuffled", "overhead", "matches"],
+            [
+                [
+                    disorder.scenario,
+                    disorder.events,
+                    disorder.max_lateness,
+                    f"{disorder.inorder_events_per_sec:,.0f}",
+                    f"{disorder.reordered_inorder_events_per_sec:,.0f}",
+                    f"{disorder.reordered_shuffled_events_per_sec:,.0f}",
+                    f"{disorder.reorder_overhead:.2f}x",
+                    "yes" if disorder.shuffled_matches_sorted else "NO",
+                ]
+            ],
+            title="Disorder tolerance",
+        )
+    )
     target = write_bench_json(
         records,
         args.output,
@@ -474,6 +532,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         columnar_routing=columnar_routing,
         sharded_groups=sharded_groups,
         replay=replay,
+        disorder=disorder,
     )
     print(f"\nWrote {len(records)} records to {target}")
     return 0
@@ -520,6 +579,26 @@ def _add_common_input_arguments(parser: argparse.ArgumentParser) -> None:
         default="sharon",
         choices=sorted(OPTIMIZERS),
         help="optimizer choosing the sharing plan (default: sharon)",
+    )
+
+
+def _add_disorder_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-lateness",
+        type=int,
+        default=None,
+        metavar="L",
+        help="tolerate out-of-order arrival up to L time units through a "
+        "watermark-driven reorder buffer (default: off = strict in-order; "
+        "see docs/disorder.md)",
+    )
+    parser.add_argument(
+        "--late-policy",
+        default="raise",
+        choices=["raise", "drop"],
+        help="what to do with events later than --max-lateness allows: "
+        "'raise' aborts the run, 'drop' counts and discards them "
+        "(default: raise)",
     )
 
 
@@ -573,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="checkpoints",
         help="directory for checkpoint files (default: checkpoints)",
     )
+    _add_disorder_arguments(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     figures_parser = subparsers.add_parser(
@@ -669,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="replay N times and verify every run reaches a byte-identical final state",
     )
+    _add_disorder_arguments(replay_parser)
     replay_parser.set_defaults(handler=cmd_replay)
 
     bench_parser = subparsers.add_parser(

@@ -1,6 +1,13 @@
 """Event model substrate: events, schemas, streams, and sliding windows."""
 
 from .columnar import ColumnLayout, ColumnarBatch, columnar_batches
+from .disorder import (
+    DisorderError,
+    ReorderBuffer,
+    ReorderFeed,
+    bounded_shuffle,
+    validate_late_policy,
+)
 from .event import Event, EventType
 from .log import (
     EventLogError,
@@ -24,6 +31,11 @@ from .windows import SlidingWindow, WindowCursor, WindowInstance
 __all__ = [
     "Event",
     "EventType",
+    "DisorderError",
+    "ReorderBuffer",
+    "ReorderFeed",
+    "bounded_shuffle",
+    "validate_late_policy",
     "EventLogError",
     "EventLogReader",
     "EventLogWriter",

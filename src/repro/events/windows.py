@@ -268,6 +268,11 @@ class WindowCursor:
         self._next_start = 0
         self._timestamp = -1
 
+    @property
+    def timestamp(self) -> int:
+        """The last timestamp advanced to (-1 before the first advance)."""
+        return self._timestamp
+
     def advance(self, timestamp: int) -> deque[WindowInstance]:
         """Instances containing ``timestamp`` (ascending by start).
 

@@ -52,6 +52,13 @@ class ASeqExecutor:
     start_method:
         :mod:`multiprocessing` start method for shard workers (``None`` =
         platform default; spawn-safe).
+    max_lateness:
+        Bounded-lateness disorder tolerance (``docs/disorder.md``); ``None``
+        (default) keeps the strict in-order contract.  Incompatible with
+        ``shards > 1``.
+    late_policy:
+        ``"raise"`` (default), ``"drop"``, or a callable side channel for
+        events beyond the lateness bound.
     """
 
     name = "A-Seq"
@@ -65,9 +72,17 @@ class ASeqExecutor:
         shards: int = 1,
         shard_strategy: str = "greedy",
         start_method: str | None = None,
+        max_lateness: int | None = None,
+        late_policy="raise",
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and max_lateness is not None:
+            raise ValueError(
+                "max_lateness is not supported with shards > 1: the shard "
+                "splitter consumes the stream in timestamp order — reorder "
+                "upstream of the sharded engine instead"
+            )
         self.workload = workload
         if shards > 1:
             self._engine: "StreamingEngine | ShardedEngine" = ShardedEngine(
@@ -89,6 +104,8 @@ class ASeqExecutor:
                 memory_sample_interval=memory_sample_interval,
                 panes=panes,
                 columnar=columnar,
+                max_lateness=max_lateness,
+                late_policy=late_policy,
             )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

@@ -39,7 +39,13 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..core.plan import QueryDecomposition, SharingPlan
-from ..events.columnar import ColumnLayout, ColumnarBatch, columnar_batches
+from ..events.columnar import _INTERNER_LIMIT, ColumnLayout, ColumnarBatch, columnar_batches
+from ..events.disorder import (
+    DisorderError,
+    ReorderBuffer,
+    ReorderFeed,
+    validate_late_policy,
+)
 from ..events.event import Event
 from ..events.stream import EventStream, timestamp_batches
 from ..events.windows import SlidingWindow, WindowCursor, WindowInstance
@@ -369,6 +375,23 @@ def _load_results(dumped: list) -> ResultSet:
     return results
 
 
+def _restore_reorder(buffer: "ReorderBuffer | None", state: dict) -> None:
+    """Restore a session snapshot's reorder buffer (both session classes).
+
+    The snapshot must agree with the session about whether disorder tolerance
+    is configured at all — a buffered-events snapshot restored into an engine
+    without a buffer would drop those events on the floor.
+    """
+    reorder = state.get("reorder")
+    if (reorder is None) != (buffer is None):
+        raise ValueError(
+            "snapshot reorder-buffer state does not match this engine's "
+            "max_lateness configuration"
+        )
+    if reorder is not None:
+        buffer.restore_state(reorder)
+
+
 class EngineSession:
     """One stepwise per-instance engine run that can be checkpointed.
 
@@ -386,7 +409,7 @@ class EngineSession:
 
     mode = "instances"
 
-    __slots__ = ("engine", "collector", "results", "_scopes", "_pool", "_cursor")
+    __slots__ = ("engine", "collector", "results", "_scopes", "_pool", "_cursor", "_reorder")
 
     def __init__(self, engine: "StreamingEngine") -> None:
         self.engine = engine
@@ -401,14 +424,46 @@ class EngineSession:
         #: Scope index: the window instances containing the (monotone) batch
         #: timestamp, maintained incrementally instead of re-derived per event.
         self._cursor = WindowCursor(engine.compiled.window)
+        #: Bounded-lateness reorder buffer (``None`` unless the engine was
+        #: built with ``max_lateness``); :meth:`ingest` runs it over a stream.
+        self._reorder = (
+            ReorderBuffer(engine.max_lateness) if engine.max_lateness is not None else None
+        )
+
+    def ingest(self, stream):
+        """Wrap ``stream`` in this session's reorder feed (identity when none).
+
+        With ``max_lateness`` configured on the engine, the returned
+        :class:`~repro.events.disorder.ReorderFeed` consumes ``stream`` in
+        *arrival* order and yields watermark-released ``(timestamp,
+        [events])`` batches in canonical order; events beyond the lateness
+        bound hit the engine's ``late_policy``, counted on this session's
+        collector.  Without ``max_lateness`` the stream is returned
+        unchanged.
+        """
+        if self._reorder is None:
+            return stream
+        return ReorderFeed(stream, self._reorder, self.engine.late_policy, self.collector)
 
     def step(self, timestamp: int, groups: "dict[tuple, list[Event]] | None") -> None:
         """Process one routed timestamp batch (see ``routed_batches``)."""
         engine = self.engine
+        last = self._cursor.timestamp
+        if timestamp < last:
+            raise DisorderError(
+                f"{engine.name}: batch at timestamp {timestamp} arrived after "
+                f"batch at timestamp {last}; engine sessions require "
+                f"non-decreasing batch timestamps — feed disordered streams "
+                f"through a reorder buffer (max_lateness, docs/disorder.md)"
+            )
         engine._finalize_expired(self._scopes, timestamp, self.results, self.collector, self._pool)
+        # Advance even for all-irrelevant batches: the cursor's timestamp is
+        # this session's disorder guard, and skipping empty batches would let
+        # a later regressed batch silently seed scopes for windows that
+        # finalization already flushed.
+        windows = self._cursor.advance(timestamp)
         if groups:
             compiled = engine.compiled
-            windows = self._cursor.advance(timestamp)
             for group, group_events in groups.items():
                 for window in windows:
                     group_scopes = self._scopes.setdefault(window, {})
@@ -441,13 +496,17 @@ class EngineSession:
             by_group = self._scopes[window]
             for group in sorted(by_group, key=repr):
                 scopes.append(by_group[group].export_state())
-        return {
+        state = {
             "mode": self.mode,
             "cursor": self._cursor.export_state(),
             "scopes": scopes,
             "results": _dump_results(self.results),
             "metrics": self.collector.export_counters(),
         }
+        # Disorder-free sessions export exactly the pre-disorder schema.
+        if self._reorder is not None:
+            state["reorder"] = self._reorder.export_state()
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`export_state`.
@@ -474,6 +533,7 @@ class EngineSession:
             self._scopes.setdefault(window, {})[group] = scope
         self.results = _load_results(state["results"])
         self.collector.restore_counters(state["metrics"])
+        _restore_reorder(self._reorder, state)
 
 
 class PaneEngineSession:
@@ -499,6 +559,8 @@ class PaneEngineSession:
         "_open_pane_index",
         "_open_pane_scopes",
         "_accumulators",
+        "_last_timestamp",
+        "_reorder",
     )
 
     def __init__(self, engine: "StreamingEngine") -> None:
@@ -514,10 +576,35 @@ class PaneEngineSession:
         self._open_pane_scopes: dict[tuple, PaneScope] = {}
         #: Pane-fed prefix vectors: window instance -> group -> accumulator.
         self._accumulators: dict[WindowInstance, dict[tuple, WindowPaneAccumulator]] = {}
+        #: Monotonicity guard (the pane loop has no cursor to hold one).
+        self._last_timestamp = -1
+        #: Bounded-lateness reorder buffer (``None`` unless the engine was
+        #: built with ``max_lateness``); :meth:`ingest` runs it over a stream.
+        self._reorder = (
+            ReorderBuffer(engine.max_lateness) if engine.max_lateness is not None else None
+        )
+
+    def ingest(self, stream):
+        """Wrap ``stream`` in this session's reorder feed (identity when none).
+
+        Same contract as :meth:`EngineSession.ingest`.
+        """
+        if self._reorder is None:
+            return stream
+        return ReorderFeed(stream, self._reorder, self.engine.late_policy, self.collector)
 
     def step(self, timestamp: int, groups: "dict[tuple, list[Event]] | None") -> None:
         """Process one routed timestamp batch into the current pane."""
         engine = self.engine
+        last = self._last_timestamp
+        if timestamp < last:
+            raise DisorderError(
+                f"{engine.name}: batch at timestamp {timestamp} arrived after "
+                f"batch at timestamp {last}; engine sessions require "
+                f"non-decreasing batch timestamps — feed disordered streams "
+                f"through a reorder buffer (max_lateness, docs/disorder.md)"
+            )
+        self._last_timestamp = timestamp
         pane_index = timestamp // self._pane_width
         if self._open_pane_index is not None and pane_index != self._open_pane_index:
             engine._close_pane(
@@ -573,14 +660,19 @@ class PaneEngineSession:
                         **by_group[group].export_state(),
                     }
                 )
-        return {
+        state = {
             "mode": self.mode,
             "open_pane_index": self._open_pane_index,
             "open_pane_scopes": open_scopes,
             "accumulators": accumulators,
+            "last_timestamp": self._last_timestamp,
             "results": _dump_results(self.results),
             "metrics": self.collector.export_counters(),
         }
+        # Disorder-free sessions stay schema-compatible with old snapshots.
+        if self._reorder is not None:
+            state["reorder"] = self._reorder.export_state()
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`export_state`."""
@@ -603,8 +695,11 @@ class PaneEngineSession:
             accumulator = WindowPaneAccumulator(self._pane_compiled)
             accumulator.restore_state(dump)
             self._accumulators.setdefault(window, {})[group] = accumulator
+        # Pre-disorder snapshots carry no explicit guard timestamp.
+        self._last_timestamp = state.get("last_timestamp", -1)
         self.results = _load_results(state["results"])
         self.collector.restore_counters(state["metrics"])
+        _restore_reorder(self._reorder, state)
 
 
 class StreamingEngine:
@@ -648,6 +743,8 @@ class StreamingEngine:
         compaction: bool = True,
         panes: bool = False,
         columnar: bool = True,
+        max_lateness: "int | None" = None,
+        late_policy="raise",
     ) -> None:
         self.workload = workload
         self.compaction = compaction
@@ -658,6 +755,17 @@ class StreamingEngine:
         #: Whether ingestion routes through columnar micro-batches (the
         #: default); ``False`` selects the scalar per-event reference path.
         self.columnar = columnar
+        if max_lateness is not None and max_lateness < 0:
+            raise ValueError(f"max_lateness must be >= 0, got {max_lateness}")
+        validate_late_policy(late_policy)
+        #: Bounded-lateness disorder tolerance (``docs/disorder.md``): when
+        #: set, sessions ingest through a watermark-driven reorder buffer
+        #: accepting arrival orders shuffled up to ``max_lateness`` time
+        #: units; ``None`` (the default) keeps the strict in-order contract.
+        self.max_lateness = max_lateness
+        #: What to do with events beyond the lateness bound: ``"raise"``
+        #: (default), ``"drop"``, or a side-channel callable.
+        self.late_policy = late_policy
 
     def set_plan(self, plan: SharingPlan) -> None:
         """Switch to ``plan`` for scopes created from now on (plan migration)."""
@@ -725,6 +833,10 @@ class StreamingEngine:
             session = self.new_session()
         elif session.engine is not self:
             raise ValueError("session belongs to a different engine")
+        # With max_lateness configured this wraps the stream in the session's
+        # reorder feed (arrival order in, watermark-released batches out);
+        # otherwise it is the identity.
+        stream = session.ingest(stream)
         collector = session.collector
         collector.start()
 
@@ -752,8 +864,13 @@ class StreamingEngine:
         passes through :meth:`CompiledWorkload.is_relevant`/:meth:`group_key`
         individually.  ``self.compiled`` is re-read per batch so plan
         migration (:meth:`set_plan`, driven from ``on_batch``) takes effect
-        mid-run in both modes.
+        mid-run in both modes.  A :class:`~repro.events.disorder.ReorderFeed`
+        (what :meth:`EngineSession.ingest` returns for a disorder-configured
+        engine) arrives pre-batched and is routed by :meth:`_routed_pairs`.
         """
+        if isinstance(stream, ReorderFeed):
+            yield from self._routed_pairs(stream, collector)
+            return
         if self.columnar:
             for batch in columnar_batches(stream, self.compiled.layout):
                 collector.total_events += batch.size
@@ -773,6 +890,43 @@ class StreamingEngine:
                             groups = {}
                         groups.setdefault(compiled.group_key(event), []).append(event)
                 yield timestamp, batch, groups
+
+    def _routed_pairs(self, pairs: "ReorderFeed", collector: MetricsCollector):
+        """Route pre-batched ``(timestamp, [events])`` pairs (the reorder feed).
+
+        The disorder counterpart of :meth:`routed_batches`' two branches: the
+        reorder buffer already groups events by timestamp in canonical order,
+        so columnar mode builds each :class:`ColumnarBatch` directly from the
+        released batch — with its own streaming key interner; a feed is never
+        an :class:`~repro.events.stream.EventStream`, so there is no
+        per-layout cache to serve from — and scalar mode routes the released
+        events one by one.  ``self.compiled`` is re-read per batch, as in
+        :meth:`routed_batches`, so plan migration still applies.
+        """
+        if self.columnar:
+            interner: dict[tuple, tuple] = {}
+            for timestamp, events in pairs:
+                compiled = self.compiled
+                batch = ColumnarBatch.from_events(timestamp, events, compiled.layout, interner)
+                if len(interner) > _INTERNER_LIMIT:
+                    interner = {}
+                collector.total_events += batch.size
+                collector.columnar_batches += 1
+                count, groups = compiled.route_columnar(batch)
+                collector.relevant_events += count
+                yield timestamp, batch.events, groups
+        else:
+            for timestamp, events in pairs:
+                compiled = self.compiled
+                groups: "dict[tuple, list[Event]] | None" = None
+                for event in events:
+                    relevant = compiled.is_relevant(event)
+                    collector.count_event(relevant)
+                    if relevant:
+                        if groups is None:
+                            groups = {}
+                        groups.setdefault(compiled.group_key(event), []).append(event)
+                yield timestamp, events, groups
 
     # -- pane-partitioned mode ----------------------------------------------------
     def _close_pane(

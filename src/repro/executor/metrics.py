@@ -47,6 +47,12 @@ class RunMetrics:
     #: Timestamp batches routed through the columnar micro-batch path
     #: (zero when the engine ran with ``columnar=False``).
     columnar_batches: int = 0
+    #: Events that arrived behind the watermark (beyond ``max_lateness``)
+    #: and hit the late policy; ``events_dropped`` counts the subset the
+    #: ``"drop"`` policy discarded (callback-routed events are late but not
+    #: dropped).  Zero for in-order runs and runs without a reorder buffer.
+    events_late: int = 0
+    events_dropped: int = 0
     #: Worker shards the run fanned out to (group-sharded execution,
     #: :class:`~repro.executor.sharding.ShardedEngine`); ``1`` for every
     #: in-process run, including ``shards=1`` degraded sharded runs.
@@ -112,6 +118,8 @@ class MetricsCollector:
     panes_created: int = 0
     pane_merges: int = 0
     columnar_batches: int = 0
+    events_late: int = 0
+    events_dropped: int = 0
     _memory: PeakMemoryTracker = field(default_factory=PeakMemoryTracker)
     _started_at: float | None = None
     _elapsed: float = 0.0
@@ -180,6 +188,8 @@ class MetricsCollector:
             "panes_created": self.panes_created,
             "pane_merges": self.pane_merges,
             "columnar_batches": self.columnar_batches,
+            "events_late": self.events_late,
+            "events_dropped": self.events_dropped,
             "finalizations_seen": self._finalizations_seen,
         }
 
@@ -195,6 +205,9 @@ class MetricsCollector:
         self.panes_created = counters["panes_created"]
         self.pane_merges = counters["pane_merges"]
         self.columnar_batches = counters["columnar_batches"]
+        # Pre-disorder snapshots did not carry the lateness counters.
+        self.events_late = counters.get("events_late", 0)
+        self.events_dropped = counters.get("events_dropped", 0)
         self._finalizations_seen = counters["finalizations_seen"]
 
     # -- reporting ---------------------------------------------------------------
@@ -215,4 +228,6 @@ class MetricsCollector:
             panes_created=self.panes_created,
             pane_merges=self.pane_merges,
             columnar_batches=self.columnar_batches,
+            events_late=self.events_late,
+            events_dropped=self.events_dropped,
         )

@@ -328,16 +328,23 @@ class ShardedEngine:
           are disjoint, so the merged :class:`ResultSet` has exactly the
           unsharded keys and the merge order is deterministic.
         * **Metrics** — work counters (relevant events, windows, results,
-          state updates, cohorts, panes, columnar batches) are summed over
-          shards; note ``columnar_batches`` counts each *shard's* micro-
-          batches, so its sum exceeds the unsharded count (a timestamp
-          whose events span ``k`` shards yields ``k`` per-slice batches);
-          ``total_events`` is the parent-observed stream size;
-          ``elapsed_seconds`` is the parent's wall-clock for the whole run
-          (slicing + fan-out + merge), so throughput reflects the real
-          cost; ``peak_memory_bytes`` sums the per-shard peaks (the workers
-          are co-resident).  The new ``shards`` / ``groups_per_shard`` /
-          ``shard_skew`` fields carry the shard plan's shape.
+          state updates, cohorts, panes, columnar batches, late/dropped
+          events) are summed over shards; note ``columnar_batches`` counts
+          each *shard's* micro-batches, so its sum exceeds the unsharded
+          count (a timestamp whose events span ``k`` shards yields ``k``
+          per-slice batches); ``total_events`` is the parent-observed
+          stream size; ``elapsed_seconds`` is the parent's wall-clock for
+          the whole run (slicing + fan-out + merge), so throughput reflects
+          the real cost; ``peak_memory_bytes`` sums the per-shard peaks
+          (the workers are co-resident).  The new ``shards`` /
+          ``groups_per_shard`` / ``shard_skew`` fields carry the shard
+          plan's shape.  Only additive *numerator/denominator* fields are
+          ever merged here — ratio-valued observables (``events_per_pane``,
+          ``throughput_events_per_second``, ``avg_latency_ms``) are
+          :class:`~repro.executor.metrics.RunMetrics` properties derived
+          from the merged fields, so they come out as ratios **of the
+          sums**, never as sums of per-shard ratios (the merge-semantics
+          tests pin this).
 
         Workloads that cannot shard — no partition attributes, or fewer than
         two observed groups — fall back to the in-process engine and return
@@ -397,6 +404,8 @@ class ShardedEngine:
             shard_metrics.append(metrics)
 
         def summed(field: str) -> int:
+            # Only additive counters may pass through here; ratios must be
+            # recomputed from the summed fields (RunMetrics properties do).
             return sum(getattr(metrics, field) for metrics in shard_metrics)
 
         merged = RunMetrics(
@@ -413,6 +422,8 @@ class ShardedEngine:
             panes_created=summed("panes_created"),
             pane_merges=summed("pane_merges"),
             columnar_batches=summed("columnar_batches"),
+            events_late=summed("events_late"),
+            events_dropped=summed("events_dropped"),
             shards=plan.shards,
             groups_per_shard=plan.groups_per_shard,
             shard_skew=round(plan.skew, 4),

@@ -71,6 +71,16 @@ class SharonExecutor:
     start_method:
         :mod:`multiprocessing` start method for the shard workers (``None``
         = platform default; the layer is spawn-safe).
+    max_lateness:
+        Bounded-lateness disorder tolerance (``docs/disorder.md``): when set,
+        the engine accepts arrival orders shuffled up to this many time units
+        through a watermark-driven reorder buffer.  ``None`` (the default)
+        keeps the strict in-order contract.  Incompatible with ``shards > 1``
+        (the shard splitter consumes the stream in timestamp order).
+    late_policy:
+        What happens to events beyond the lateness bound: ``"raise"`` (the
+        default), ``"drop"`` (counted in ``events_dropped``), or a callable
+        side channel receiving each late event.
     """
 
     name = "Sharon"
@@ -87,6 +97,8 @@ class SharonExecutor:
         shards: int = 1,
         shard_strategy: str = "greedy",
         start_method: str | None = None,
+        max_lateness: int | None = None,
+        late_policy="raise",
     ) -> None:
         if plan is None:
             if rates is None:
@@ -94,6 +106,12 @@ class SharonExecutor:
             plan = SharonOptimizer(rates).optimize(workload).plan
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and max_lateness is not None:
+            raise ValueError(
+                "max_lateness is not supported with shards > 1: the shard "
+                "splitter consumes the stream in timestamp order — reorder "
+                "upstream of the sharded engine instead"
+            )
         self.workload = workload
         self.plan = plan
         if shards > 1:
@@ -118,6 +136,8 @@ class SharonExecutor:
                 compaction=compaction,
                 panes=panes,
                 columnar=columnar,
+                max_lateness=max_lateness,
+                late_policy=late_policy,
             )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

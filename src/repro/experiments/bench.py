@@ -41,6 +41,14 @@ future sessions can diff:
   throughput, the final state hash, and the replays-identical /
   matches-live correctness flags (see ``docs/replay.md``).
 
+* **Disorder tolerance** — the dense-sharing stream delivered through the
+  watermark-driven reorder buffer (``docs/disorder.md``), both in sorted
+  order and in a bounded-disorder arrival order; recorded as the
+  ``disorder`` section with the no-buffer baseline, buffered in-order, and
+  buffered shuffled throughputs, the reorder overhead factor on an in-order
+  stream (gated ≤ 1.5× in ``benchmarks/test_engine_throughput.py``), and
+  the zero-late / shuffled-matches-sorted correctness flags.
+
 Run it with ``python -m repro bench`` (or ``make bench``), or through pytest
 via ``benchmarks/test_engine_throughput.py`` which asserts the scaling,
 sharing, compaction, pane, columnar-routing, sharding, and replay
@@ -76,6 +84,7 @@ from ..utils.rates import RateCatalog
 __all__ = [
     "BenchRecord",
     "CohortCompactionRecord",
+    "DisorderRecord",
     "PaneSharingRecord",
     "ColumnarRoutingRecord",
     "ReplayBenchRecord",
@@ -88,6 +97,7 @@ __all__ = [
     "small_slide_scenario",
     "routing_scenario",
     "many_group_scenario",
+    "run_disorder_benchmark",
     "run_engine_benchmark",
     "run_compaction_benchmark",
     "run_pane_benchmark",
@@ -238,6 +248,41 @@ class ReplayBenchRecord:
     replays: int
     replays_identical: bool
     matches_live: bool
+    samples: int = 1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class DisorderRecord:
+    """The disorder-tolerance section of ``BENCH_engine.json``.
+
+    Captures, on the dense-sharing scenario, what the watermark-driven
+    reorder buffer (``docs/disorder.md``) costs and what it buys: engine
+    throughput with no buffer vs with the buffer on an already-sorted
+    arrival order (``reorder_overhead`` is their ratio — the pure cost of
+    routing every event through the buffer), throughput on a
+    bounded-disorder arrival order, and two correctness flags —
+    ``shuffled_matches_sorted`` (the disordered run's results equal the
+    sorted run's) and zero ``events_late``/``events_dropped`` (the shuffle
+    honoured its ≤ ``max_lateness`` promise).  All three measurements feed
+    plain event iterables so none of them benefits from the in-memory
+    stream's column cache.  The gate in
+    ``benchmarks/test_engine_throughput.py`` requires the flags and a
+    reorder overhead ≤ 1.5× on the in-order stream.
+    """
+
+    scenario: str
+    events: int
+    max_lateness: int
+    inorder_events_per_sec: float
+    reordered_inorder_events_per_sec: float
+    reordered_shuffled_events_per_sec: float
+    reorder_overhead: float
+    events_late: int
+    events_dropped: int
+    shuffled_matches_sorted: bool
     samples: int = 1
 
     def to_json(self) -> dict:
@@ -826,6 +871,71 @@ def run_replay_benchmark(repeats: int = 3, replays: int = 3) -> ReplayBenchRecor
     )
 
 
+def run_disorder_benchmark(repeats: int = 3, max_lateness: int = 8) -> DisorderRecord:
+    """Measure bounded-disorder ingestion on the dense-sharing scenario.
+
+    Runs the same workload/plan three ways — no reorder buffer on the sorted
+    arrival order, buffer on the sorted order (the overhead measurement),
+    and buffer on a ``bounded_shuffle`` arrival order — refuses to record a
+    throughput if buffering or reordering changes any result, and reports
+    all three throughputs plus the lateness counters of the shuffled run.
+    Every run feeds a plain event iterable (fresh iterator per sample), so
+    the comparison never mixes the in-memory stream's cached columnar path
+    with per-run column construction.
+    """
+    from ..events.disorder import bounded_shuffle
+
+    workload, stream = dense_sharing_scenario()
+    window = workload[0].window
+    events = list(stream)
+    total = len(events)
+    rates = RateCatalog.from_stream(stream, per="window", window_size=window.size)
+    plan = SharonExecutor(workload, rates=rates).plan
+    shuffled = bounded_shuffle(events, max_lateness, seed=83)
+
+    def timed(order, **engine_kwargs):
+        samples = []
+        report = None
+        for _ in range(repeats):
+            executor = SharonExecutor(workload, plan=plan, **engine_kwargs)
+            started = time.perf_counter()
+            report = executor.run(iter(order))
+            samples.append(time.perf_counter() - started)
+        return report, min(samples)
+
+    baseline_report, baseline_best = timed(events)
+    buffered_report, buffered_best = timed(events, max_lateness=max_lateness)
+    shuffled_report, shuffled_best = timed(shuffled, max_lateness=max_lateness)
+
+    if not buffered_report.results.matches(baseline_report.results):
+        raise RuntimeError(
+            "the reorder buffer changed the dense-sharing benchmark results "
+            "on an in-order stream; refusing to record its throughput"
+        )
+    matches = shuffled_report.results.matches(baseline_report.results)
+
+    def events_per_sec(best: float) -> float:
+        return round(total / best if best > 0 else float(total), 1)
+
+    return DisorderRecord(
+        scenario="dense-sharing-disorder",
+        events=total,
+        max_lateness=max_lateness,
+        inorder_events_per_sec=events_per_sec(baseline_best),
+        reordered_inorder_events_per_sec=events_per_sec(buffered_best),
+        reordered_shuffled_events_per_sec=events_per_sec(shuffled_best),
+        # Wall-clock slowdown factor of the buffer on an in-order stream
+        # (> 1 means buffering cost; the gate allows up to 1.5×).
+        reorder_overhead=round(
+            buffered_best / baseline_best if baseline_best > 0 else 1.0, 3
+        ),
+        events_late=shuffled_report.metrics.events_late,
+        events_dropped=shuffled_report.metrics.events_dropped,
+        shuffled_matches_sorted=matches,
+        samples=repeats,
+    )
+
+
 def write_bench_json(
     records: list[BenchRecord],
     path: "str | Path" = DEFAULT_BENCH_PATH,
@@ -834,6 +944,7 @@ def write_bench_json(
     columnar_routing: "ColumnarRoutingRecord | None" = None,
     sharded_groups: "ShardedGroupsRecord | None" = None,
     replay: "ReplayBenchRecord | None" = None,
+    disorder: "DisorderRecord | None" = None,
 ) -> Path:
     """Write the records as the machine-readable ``BENCH_engine.json``."""
     payload = {
@@ -851,6 +962,8 @@ def write_bench_json(
         payload["sharded_groups"] = sharded_groups.to_json()
     if replay is not None:
         payload["replay"] = replay.to_json()
+    if disorder is not None:
+        payload["disorder"] = disorder.to_json()
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

@@ -117,6 +117,13 @@ class ReplayRunner:
         Engine toggles, with :class:`~repro.executor.shared.SharonExecutor`
         semantics.  They are part of the determinism contract: checkpoints
         record them and refuse to resume under a different configuration.
+    max_lateness / late_policy:
+        Bounded-lateness disorder tolerance (``docs/disorder.md``): with
+        ``max_lateness`` set the log is read in recorded *arrival* order and
+        reordered through the engine's watermark-driven buffer, and
+        checkpoints snapshot the buffer (so ``events_consumed`` counts log
+        events read, including ones still held).  Also part of the
+        determinism contract recorded into checkpoints.
 
     Sharded execution is intentionally not supported here: replay targets
     the in-process engine whose state is fully snapshotable; sharded crash
@@ -133,6 +140,8 @@ class ReplayRunner:
         panes: bool = False,
         columnar: bool = True,
         memory_sample_interval: int = 0,
+        max_lateness: "int | None" = None,
+        late_policy="raise",
     ) -> None:
         if plan is None:
             plan = (
@@ -148,6 +157,8 @@ class ReplayRunner:
             compaction=compaction,
             panes=panes,
             columnar=columnar,
+            max_lateness=max_lateness,
+            late_policy=late_policy,
         )
         self.fingerprint = workload_fingerprint(workload, plan)
 
@@ -155,10 +166,16 @@ class ReplayRunner:
     def engine_config(self) -> dict:
         """The toggle set recorded into (and validated against) checkpoints."""
         engine = self.engine
+        late_policy = engine.late_policy
         return {
             "mode": "panes" if engine.uses_panes else "instances",
             "columnar": engine.columnar,
             "compaction": engine.compaction,
+            "max_lateness": engine.max_lateness,
+            # Callables cannot be serialised; any side channel records as
+            # "callback" (resuming requires a callback policy again, though
+            # not the same function object).
+            "late_policy": late_policy if isinstance(late_policy, str) else "callback",
         }
 
     # -- source handling ---------------------------------------------------------
@@ -247,22 +264,44 @@ class ReplayRunner:
         sleep_per_unit = _parse_speed(speed)
         events = self._event_source(source, events_consumed)
         skipped = events_consumed
+        # With max_lateness configured the session wraps the log in its
+        # reorder feed; events_consumed then counts *log* events read
+        # (including ones still buffered), which pairs with the buffer
+        # snapshot inside the session export to make checkpoints exact.
+        stream = session.ingest(events)
+        feed = stream if stream is not events else None
         collector = session.collector
         checkpoints: list[Path] = []
         batches = 0
-        last_timestamp: "int | None" = None
+        # Pacing runs on an absolute schedule anchored at the first paced
+        # batch: a batch at stream time t is due at
+        # ``origin_clock + (t - origin_timestamp) * sleep_per_unit``, so the
+        # sleep shrinks by however long processing the previous batches took
+        # (clamped at 0) instead of drifting later by it.
+        origin_timestamp: "int | None" = None
+        origin_clock = 0.0
 
         collector.start()
-        for timestamp, batch, groups in engine.routed_batches(events, collector):
-            if sleep_per_unit and last_timestamp is not None and timestamp > last_timestamp:
-                collector.stop()
-                time.sleep((timestamp - last_timestamp) * sleep_per_unit)
-                collector.start()
+        for timestamp, batch, groups in engine.routed_batches(stream, collector):
+            if sleep_per_unit:
+                if origin_timestamp is None:
+                    origin_timestamp = timestamp
+                    origin_clock = time.perf_counter()
+                else:
+                    due_in = (timestamp - origin_timestamp) * sleep_per_unit - (
+                        time.perf_counter() - origin_clock
+                    )
+                    if due_in > 0:
+                        collector.stop()
+                        time.sleep(due_in)
+                        collector.start()
 
             session.step(timestamp, groups)
-            events_consumed += len(batch)
+            if feed is not None:
+                events_consumed = skipped + feed.source_consumed
+            else:
+                events_consumed += len(batch)
             batches += 1
-            last_timestamp = timestamp
 
             if on_batch is not None:
                 collector.stop()

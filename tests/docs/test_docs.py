@@ -35,6 +35,7 @@ DOCUMENTED_KNOBS = {
     "PANE_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
     "SHARDED_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
     "REPLAY_DIFF_SCENARIOS": "tests/integration/test_replay_determinism.py",
+    "DISORDER_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
     "COLUMNAR_BENCH_REPEATS": "src/repro/experiments/bench.py",
 }
 

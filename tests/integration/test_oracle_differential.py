@@ -29,10 +29,21 @@ round-trip, and deterministic result merge are all differentially pinned
 against the oracle.  Scenarios without at least two groups exercise the
 documented in-process fallback on the same code path.
 
+A fourth, disorder-targeted grid delivers each scenario's events in a
+bounded-disorder *arrival* order (``repro.events.bounded_shuffle``) and runs
+them through executors configured with ``max_lateness``
+(``docs/disorder.md``): the watermark-driven reorder buffer must reproduce
+the oracle exactly with zero late events, any ≤L permutation must reach a
+session export byte-identical to the sorted run across the engine's toggle
+cube, and arrivals *beyond* the bound must land in the
+``events_late``/``events_dropped`` counters (or the raise/side-channel
+policies) rather than corrupting results.
+
 Grid sizes are controlled by the ``ORACLE_DIFF_SCENARIOS`` (default 240),
-``PANE_DIFF_SCENARIOS`` (default 120), and ``SHARDED_DIFF_SCENARIOS``
-(default 40) environment variables; CI may reduce them.  Seeds are fixed so
-every run is reproducible.
+``PANE_DIFF_SCENARIOS`` (default 120), ``SHARDED_DIFF_SCENARIOS``
+(default 40), and ``DISORDER_DIFF_SCENARIOS`` (default 60) environment
+variables; CI may reduce them.  Seeds are fixed so every run is
+reproducible.
 """
 
 from __future__ import annotations
@@ -43,7 +54,7 @@ import pytest
 
 from repro.core import SharingPlan
 from repro.datasets import describe_scenario, random_scenario
-from repro.events import Event, EventStream, SlidingWindow
+from repro.events import DisorderError, Event, EventStream, SlidingWindow, bounded_shuffle
 from repro.executor import (
     ASeqExecutor,
     FlinkLikeExecutor,
@@ -52,6 +63,7 @@ from repro.executor import (
     SpassLikeExecutor,
 )
 from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
+from repro.replay import ReplayRunner
 
 from ..conftest import random_maximal_plan
 
@@ -63,6 +75,9 @@ NUM_PANE_SCENARIOS = int(os.environ.get("PANE_DIFF_SCENARIOS", "120"))
 
 #: Scenarios replayed through the group-sharded engine per full run.
 NUM_SHARDED_SCENARIOS = int(os.environ.get("SHARDED_DIFF_SCENARIOS", "40"))
+
+#: Scenarios delivered in bounded-disorder arrival orders per full run.
+NUM_DISORDER_SCENARIOS = int(os.environ.get("DISORDER_DIFF_SCENARIOS", "60"))
 
 #: Scenarios are split into parametrized blocks so failures localise.
 NUM_BLOCKS = 8
@@ -214,6 +229,143 @@ def test_sharded_engine_matches_oracle_on_randomized_grid(block):
         if seed >= NUM_SHARDED_SCENARIOS:
             break
         check_scenario(seed, executors=sharded_executors_under_test)
+
+
+def disorder_executors_under_test(workload: Workload, seed: int, max_lateness: int):
+    """Executors with the reorder buffer on, fed *arrival*-ordered events.
+
+    The set spans the ingestion paths the buffer feeds into: columnar
+    micro-batches (default), the scalar reference path, pane-partitioned
+    mode, and the non-shared A-Seq engine.
+    """
+    plan = deterministic_plan(workload, seed)
+    return (
+        ("Sharon-disorder", SharonExecutor(workload, plan=plan, max_lateness=max_lateness)),
+        (
+            "Sharon-disorder-scalar",
+            SharonExecutor(workload, plan=plan, columnar=False, max_lateness=max_lateness),
+        ),
+        (
+            "Sharon-disorder-panes",
+            SharonExecutor(workload, plan=plan, panes=True, max_lateness=max_lateness),
+        ),
+        ("A-Seq-disorder", ASeqExecutor(workload, max_lateness=max_lateness)),
+    )
+
+
+def check_disorder_scenario(seed: int) -> None:
+    """Bounded-shuffled arrivals must equal the oracle with zero late events."""
+    workload, stream = random_scenario(seed)
+    events = list(stream)
+    max_lateness = 1 + seed % 7
+    shuffled = bounded_shuffle(events, max_lateness, seed=seed * 31 + 7)
+    oracle = OracleExecutor(workload).run(stream).results
+    for name, executor in disorder_executors_under_test(workload, seed, max_lateness):
+        report = executor.run(iter(shuffled))
+        assert report.metrics.events_late == 0, (
+            f"scenario seed={seed}: {name} counted late events inside the "
+            f"≤{max_lateness} bound — the watermark admits too little"
+        )
+        if not report.results.matches(oracle):
+            pytest.fail(
+                f"scenario seed={seed}: {name} over a ≤{max_lateness}-late "
+                f"arrival order diverges from the oracle.\n"
+                f"first differences (key, executor value, oracle value): "
+                f"{report.results.differences(oracle)[:5]}\n"
+                f"scenario:\n{describe_scenario(workload, stream)}"
+            )
+
+
+@pytest.mark.parametrize("block", range(NUM_BLOCKS))
+def test_disordered_arrivals_match_oracle_on_randomized_grid(block):
+    """Reorder-buffered ingestion of ≤L-late arrivals equals the oracle."""
+    per_block = (NUM_DISORDER_SCENARIOS + NUM_BLOCKS - 1) // NUM_BLOCKS
+    for offset in range(per_block):
+        seed = block * per_block + offset
+        if seed >= NUM_DISORDER_SCENARIOS:
+            break
+        check_disorder_scenario(seed)
+
+
+@pytest.mark.parametrize("compaction", [True, False], ids=["compact", "no-compact"])
+@pytest.mark.parametrize("columnar", [True, False], ids=["columnar", "scalar"])
+@pytest.mark.parametrize("panes", [True, False], ids=["panes", "instances"])
+def test_bounded_permutations_are_byte_identical_to_sorted(panes, columnar, compaction):
+    """Any ≤L permutation reaches a byte-identical final session export.
+
+    Stronger than result equality: the state hash covers results, metrics
+    counters, and all residual engine state, so the reorder buffer must leave
+    *no* trace of the arrival order behind — across the full toggle cube,
+    because each toggle snapshots state through different layers.
+    """
+    max_lateness = 5
+    for seed in (2, 9, 17):
+        workload, stream = random_scenario(seed, pane_stress=panes)
+        plan = deterministic_plan(workload, seed)
+        events = list(stream)
+
+        def final_hash(order):
+            runner = ReplayRunner(
+                workload,
+                plan=plan,
+                panes=panes,
+                columnar=columnar,
+                compaction=compaction,
+                max_lateness=max_lateness,
+            )
+            return runner.run(iter(order)).state_hash
+
+        sorted_hash = final_hash(events)
+        for shuffle_seed in range(3):
+            shuffled = bounded_shuffle(events, max_lateness, seed=shuffle_seed)
+            assert final_hash(shuffled) == sorted_hash, (
+                f"seed {seed}, shuffle {shuffle_seed}: a ≤{max_lateness}-late "
+                f"arrival order left a different final state (panes={panes}, "
+                f"columnar={columnar}, compaction={compaction})"
+            )
+
+
+def test_beyond_bound_arrivals_land_in_the_lateness_counters():
+    """Arrivals behind the watermark hit the policy, never the results.
+
+    A wide shuffle is ingested under a much tighter bound: ``drop`` must
+    count every late event in ``events_late``/``events_dropped`` (and keep
+    total + dropped accounting exact), a side-channel callback must receive
+    exactly the late events without dropping them, and ``raise`` must refuse
+    the same arrival order outright.
+    """
+    late_total = 0
+    for seed in range(8):
+        workload, stream = random_scenario(seed)
+        events = list(stream)
+        shuffled = bounded_shuffle(events, 15, seed=seed)
+        plan = deterministic_plan(workload, seed)
+
+        dropped_report = SharonExecutor(
+            workload, plan=plan, max_lateness=1, late_policy="drop"
+        ).run(iter(shuffled))
+        metrics = dropped_report.metrics
+        assert metrics.events_late == metrics.events_dropped
+        assert metrics.total_events + metrics.events_dropped == len(events)
+
+        side_channel = []
+        callback_report = SharonExecutor(
+            workload, plan=plan, max_lateness=1, late_policy=side_channel.append
+        ).run(iter(shuffled))
+        assert callback_report.metrics.events_late == len(side_channel)
+        assert callback_report.metrics.events_dropped == 0
+        assert callback_report.metrics.total_events + len(side_channel) == len(events)
+        assert callback_report.metrics.events_late == metrics.events_late
+
+        if metrics.events_late:
+            late_total += metrics.events_late
+            with pytest.raises(DisorderError, match="behind watermark"):
+                SharonExecutor(workload, plan=plan, max_lateness=1).run(iter(shuffled))
+
+    assert late_total > 0, (
+        "no scenario produced a single beyond-bound arrival — the policy "
+        "paths were never exercised"
+    )
 
 
 def test_sharded_grid_exercises_fanout():

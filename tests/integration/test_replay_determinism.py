@@ -28,15 +28,24 @@ fixed so every run is reproducible.
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
 from repro.datasets import random_scenario
+from repro.events import SlidingWindow, bounded_shuffle
 from repro.events.log import EventLogReader, write_event_log
 from repro.executor import OracleExecutor
-from repro.replay import ReplayRunner, ReplayTrace, first_divergence, load_checkpoint
+from repro.queries import Pattern, PredicateSet, Query, Workload
+from repro.replay import (
+    CheckpointError,
+    ReplayRunner,
+    ReplayTrace,
+    first_divergence,
+    load_checkpoint,
+)
 
-from ..conftest import random_maximal_plan
+from ..conftest import make_events, random_maximal_plan
 
 #: Randomized scenarios replayed from a log and compared to the oracle.
 NUM_REPLAY_SCENARIOS = int(os.environ.get("REPLAY_DIFF_SCENARIOS", "60"))
@@ -114,6 +123,134 @@ def test_paced_replay_matches_instant(tmp_path):
     instant = ReplayRunner(workload, plan=plan).run(log_path)
     paced = ReplayRunner(workload, plan=plan).run(log_path, speed="1000000x")
     assert paced.state_hash == instant.state_hash
+
+
+def test_paced_replay_subtracts_processing_time(tmp_path):
+    """Pacing must follow an absolute schedule, not drift by processing time.
+
+    The historical bug: the runner slept the full inter-batch gap *after*
+    processing each batch, so every batch's processing time was added on top
+    of the schedule and the drift accumulated over the run.  Here each batch
+    is made artificially slow through ``on_batch``; the paced run must still
+    finish close to the ideal wall-clock duration (span × seconds-per-unit),
+    not ideal + the summed processing delays.
+    """
+    span = 20
+    events = make_events([("A", t) for t in range(span + 1)])
+    log_path = tmp_path / "paced.jsonl"
+    write_event_log(events, log_path)
+    window = SlidingWindow(size=10, slide=5)
+    workload = Workload(
+        [Query(pattern=Pattern(["A", "B"]), window=window, predicates=PredicateSet(), name="q")]
+    )
+
+    sleep_per_unit = 0.02  # "50x"
+    ideal = span * sleep_per_unit
+    delay = 0.015
+    total_delay = delay * (span + 1)
+    assert total_delay < ideal  # the schedule can absorb the simulated work
+
+    start = time.perf_counter()
+    report = ReplayRunner(workload).run(
+        log_path, speed="50x", on_batch=lambda _ts, _batch: time.sleep(delay)
+    )
+    elapsed = time.perf_counter() - start
+
+    assert report.batches == span + 1
+    # With the drift bug this takes ideal + total_delay (~0.7s); the absolute
+    # schedule lands near ideal.  Generous slack for loaded CI machines.
+    assert elapsed < ideal + total_delay * 0.5, (
+        f"paced replay took {elapsed:.3f}s for an ideal schedule of {ideal:.3f}s "
+        f"— batch processing time is being added to the sleeps instead of "
+        f"subtracted from them"
+    )
+    assert elapsed >= ideal * 0.9
+
+
+class TestDisorderedReplay:
+    """Bounded-disorder logs replay byte-identically to sorted logs."""
+
+    MAX_LATENESS = 4
+
+    def scenario(self, tmp_path, seed=13):
+        """A scenario recorded twice: sorted order and bounded-shuffled order."""
+        workload, stream = random_scenario(seed)
+        plan = random_maximal_plan(workload, seed)
+        events = list(stream)
+        shuffled = bounded_shuffle(events, self.MAX_LATENESS, seed=seed)
+        assert shuffled != events, "seed produced an already-sorted shuffle"
+        sorted_log = tmp_path / "sorted.jsonl"
+        shuffled_log = tmp_path / "shuffled.jsonl"
+        write_event_log(stream, sorted_log, stream_name=stream.name)
+        write_event_log(shuffled, shuffled_log, stream_name=stream.name)
+        return workload, stream, plan, sorted_log, shuffled_log
+
+    def runner(self, workload, plan, **overrides):
+        kwargs = dict(plan=plan, max_lateness=self.MAX_LATENESS)
+        kwargs.update(overrides)
+        return ReplayRunner(workload, **kwargs)
+
+    def test_shuffled_log_matches_sorted_log_and_oracle(self, tmp_path):
+        workload, stream, plan, sorted_log, shuffled_log = self.scenario(tmp_path)
+        from_sorted = self.runner(workload, plan).run(sorted_log)
+        from_shuffled = self.runner(workload, plan).run(shuffled_log)
+        assert from_shuffled.state_hash == from_sorted.state_hash
+        assert from_shuffled.metrics.events_late == 0
+        assert from_shuffled.metrics.events_dropped == 0
+        assert from_shuffled.events_replayed == len(list(stream))
+
+        oracle = OracleExecutor(workload).run(stream).results
+        differences = oracle.differences(from_shuffled.report.results)
+        assert not differences, (
+            f"disordered replay diverges from the oracle; first differences "
+            f"(key, oracle, replay): {differences[:5]}"
+        )
+
+    def test_resume_with_buffered_events_matches_full_replay(self, tmp_path):
+        """Checkpoints taken while the reorder buffer is non-empty must resume
+        exactly: the buffer snapshot travels inside the session export and
+        ``events_consumed`` counts log events *read*, including buffered ones."""
+        workload, _, plan, _, shuffled_log = self.scenario(tmp_path)
+        full = self.runner(workload, plan).run(shuffled_log)
+        checkpointed = self.runner(workload, plan).run(
+            shuffled_log, checkpoint_every=1, checkpoint_dir=tmp_path / "cks"
+        )
+        assert checkpointed.state_hash == full.state_hash
+        assert checkpointed.checkpoints
+
+        buffered_seen = 0
+        for checkpoint_path in checkpointed.checkpoints:
+            checkpoint = load_checkpoint(checkpoint_path)
+            reorder = checkpoint.engine_state["reorder"]
+            assert reorder["max_lateness"] == self.MAX_LATENESS
+            buffered_seen += sum(len(batch) for _ts, batch in reorder["batches"])
+            resumed = self.runner(workload, plan).run(
+                shuffled_log, resume_from=checkpoint_path
+            )
+            assert resumed.state_hash == full.state_hash, (
+                f"resume from {checkpoint_path.name} diverged from the full "
+                f"disordered replay"
+            )
+            assert checkpoint.events_consumed + resumed.events_replayed == full.events_replayed
+        assert buffered_seen > 0, (
+            "no checkpoint ever held a non-empty reorder buffer — the scenario "
+            "does not exercise buffered-state snapshots"
+        )
+
+    def test_resume_refuses_mismatched_disorder_config(self, tmp_path):
+        workload, _, plan, _, shuffled_log = self.scenario(tmp_path)
+        checkpointed = self.runner(workload, plan).run(
+            shuffled_log, checkpoint_every=2, checkpoint_dir=tmp_path / "cks"
+        )
+        checkpoint = checkpointed.checkpoints[0]
+        with pytest.raises(CheckpointError, match="engine config"):
+            self.runner(workload, plan, max_lateness=None).run(
+                shuffled_log, resume_from=checkpoint
+            )
+        with pytest.raises(CheckpointError, match="engine config"):
+            self.runner(workload, plan, max_lateness=9).run(
+                shuffled_log, resume_from=checkpoint
+            )
 
 
 @pytest.mark.parametrize("block", range(NUM_BLOCKS))

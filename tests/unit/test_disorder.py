@@ -1,0 +1,294 @@
+"""Unit tests for bounded-lateness disorder tolerance (events/disorder.py).
+
+Covers the reorder buffer's watermark protocol, the feed's accounting
+invariant and late policies, the legality of ``bounded_shuffle`` arrival
+orders, the engine sessions' regressed-timestamp guard, and buffer
+checkpointing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import (
+    DisorderError,
+    EventStream,
+    ReorderBuffer,
+    ReorderFeed,
+    SlidingWindow,
+    bounded_shuffle,
+    validate_late_policy,
+)
+from repro.executor import StreamingEngine
+from repro.executor.engine import PaneEngineSession
+from repro.queries import Pattern, PredicateSet, Query, Workload
+
+from ..conftest import make_events
+
+
+def make_workload(window=None):
+    window = window or SlidingWindow(size=10, slide=5)
+    queries = [
+        Query(pattern=Pattern(["A", "B"]), window=window, predicates=PredicateSet(), name="q1"),
+        Query(pattern=Pattern(["A", "B", "C"]), window=window, predicates=PredicateSet(), name="q2"),
+    ]
+    return Workload(queries)
+
+
+class TestLatePolicyValidation:
+    def test_accepts_raise_drop_and_callables(self):
+        validate_late_policy("raise")
+        validate_late_policy("drop")
+        validate_late_policy(lambda event: None)
+
+    @pytest.mark.parametrize("bad", ["ignore", None, 3, ["drop"]])
+    def test_rejects_everything_else(self, bad):
+        with pytest.raises(ValueError, match="late_policy"):
+            validate_late_policy(bad)
+
+
+class TestReorderBuffer:
+    def test_rejects_negative_lateness(self):
+        with pytest.raises(ValueError, match="max_lateness"):
+            ReorderBuffer(-1)
+
+    def test_watermark_undefined_before_first_event(self):
+        buffer = ReorderBuffer(5)
+        assert buffer.watermark is None
+        assert buffer.max_seen == -1
+        assert not buffer.is_late(0)
+
+    def test_watermark_tracks_max_seen(self):
+        buffer = ReorderBuffer(3)
+        (event,) = make_events([("A", 10)])
+        assert buffer.push(event)
+        assert buffer.watermark == 7
+        # max_seen never moves backwards.
+        (older,) = make_events([("A", 8)])
+        assert buffer.push(older)
+        assert buffer.watermark == 7
+
+    def test_event_at_watermark_is_admissible_but_below_is_late(self):
+        buffer = ReorderBuffer(3)
+        buffer.push(make_events([("A", 10)])[0])
+        assert not buffer.is_late(7)  # exactly at the watermark
+        assert buffer.is_late(6)  # strictly below it
+        assert buffer.push(make_events([("A", 7)])[0])
+        assert not buffer.push(make_events([("A", 6)])[0])
+        assert len(buffer) == 2  # the late event was not buffered
+
+    def test_pop_ready_releases_only_passed_batches(self):
+        buffer = ReorderBuffer(2)
+        for event in make_events([("A", 5), ("A", 3), ("A", 4)]):
+            assert buffer.push(event)
+        # Watermark is 3: only timestamp < 3 would release; nothing yet.
+        assert buffer.pop_ready() is None
+        buffer.push(make_events([("A", 8)])[0])
+        # Watermark is 6 now: 3, 4, 5 release in timestamp order.
+        assert [buffer.pop_ready()[0] for _ in range(3)] == [3, 4, 5]
+        assert buffer.pop_ready() is None
+        assert len(buffer) == 1
+
+    def test_pop_drain_flushes_everything_in_order(self):
+        buffer = ReorderBuffer(10)
+        for event in make_events([("A", 4), ("A", 1), ("A", 4), ("A", 2)]):
+            buffer.push(event)
+        drained = []
+        while (batch := buffer.pop_drain()) is not None:
+            drained.append(batch)
+        assert [timestamp for timestamp, _ in drained] == [1, 2, 4]
+        assert len(drained[2][1]) == 2
+        assert len(buffer) == 0
+
+    def test_within_timestamp_events_kept_in_event_id_order(self):
+        buffer = ReorderBuffer(5)
+        a, b, c = make_events([("A", 3), ("B", 3), ("C", 3)])
+        for event in (c, a, b):  # arrival order scrambles the ids
+            buffer.push(event)
+        buffer.push(make_events([("A", 20)])[0])
+        timestamp, batch = buffer.pop_ready()
+        assert timestamp == 3
+        assert [event.event_id for event in batch] == [0, 1, 2]
+
+    def test_export_restore_round_trip(self):
+        buffer = ReorderBuffer(5)
+        for event in make_events([("A", 4), ("B", 2), ("A", 6)]):
+            buffer.push(event)
+        state = buffer.export_state()
+        restored = ReorderBuffer(5)
+        restored.restore_state(state)
+        assert restored.watermark == buffer.watermark
+        assert len(restored) == len(buffer)
+        assert restored.export_state() == state
+        while True:
+            original, copy = buffer.pop_drain(), restored.pop_drain()
+            assert original == copy
+            if original is None:
+                break
+
+    def test_restore_rejects_mismatched_lateness(self):
+        buffer = ReorderBuffer(5)
+        state = buffer.export_state()
+        other = ReorderBuffer(3)
+        with pytest.raises(ValueError, match="max_lateness"):
+            other.restore_state(state)
+
+
+class TestReorderFeed:
+    def feed(self, rows, max_lateness, **kwargs):
+        events = make_events(rows)
+        return ReorderFeed(iter(events), ReorderBuffer(max_lateness), **kwargs)
+
+    def test_releases_sorted_batches(self):
+        feed = self.feed([("A", 3), ("A", 1), ("A", 2), ("A", 6), ("A", 5)], 3)
+        assert [timestamp for timestamp, _ in feed] == [1, 2, 3, 5, 6]
+        assert feed.source_consumed == 5
+
+    def test_accounting_invariant_at_every_batch_boundary(self):
+        feed = self.feed([("A", 3), ("A", 1), ("A", 7), ("A", 3), ("A", 6)], 4)
+        processed = 0
+        for _timestamp, batch in feed:
+            processed += len(batch)
+            assert processed + len(feed.buffer) == feed.source_consumed
+        assert processed == 5
+
+    def test_raise_policy_names_the_contract(self):
+        feed = self.feed([("A", 10), ("A", 2)], 3)
+        with pytest.raises(DisorderError, match="behind watermark 7"):
+            list(feed)
+
+    def test_drop_policy_counts_late_and_dropped(self):
+        feed = self.feed([("A", 10), ("A", 2), ("A", 11)], 3, late_policy="drop")
+        released = [event for _ts, batch in feed for event in batch]
+        assert [event.timestamp for event in released] == [10, 11]
+        assert feed.metrics.events_late == 1
+        assert feed.metrics.events_dropped == 1
+        assert feed.source_consumed == 3
+
+    def test_callback_policy_hands_over_the_event(self):
+        side_channel = []
+        feed = self.feed(
+            [("A", 10), ("A", 2)], 3, late_policy=side_channel.append
+        )
+        list(feed)
+        assert [event.timestamp for event in side_channel] == [2]
+        assert feed.metrics.events_late == 1
+        assert feed.metrics.events_dropped == 0
+
+    def test_metrics_sink_is_duck_typed(self):
+        class Sink:
+            events_late = 0
+            events_dropped = 0
+
+        sink = Sink()
+        feed = self.feed([("A", 10), ("A", 2)], 3, late_policy="drop", metrics=sink)
+        list(feed)
+        assert sink.events_late == 1
+        assert sink.events_dropped == 1
+
+
+class TestBoundedShuffle:
+    def test_rejects_negative_lateness(self):
+        with pytest.raises(ValueError, match="max_lateness"):
+            bounded_shuffle([], -1, seed=0)
+
+    def test_zero_lateness_is_the_identity_on_sorted_input(self):
+        events = make_events([("A", t) for t in range(10)])
+        assert bounded_shuffle(events, 0, seed=7) == events
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("max_lateness", [1, 3, 10])
+    def test_arrival_orders_are_never_late(self, seed, max_lateness):
+        events = make_events([("A", t % 17) for t in range(60)])
+        events.sort(key=lambda event: (event.timestamp, event.event_id))
+        shuffled = bounded_shuffle(events, max_lateness, seed=seed)
+        assert sorted(shuffled, key=lambda e: (e.timestamp, e.event_id)) == sorted(
+            events, key=lambda e: (e.timestamp, e.event_id)
+        )
+        buffer = ReorderBuffer(max_lateness)
+        assert all(buffer.push(event) for event in shuffled)
+
+    def test_is_deterministic_per_seed(self):
+        events = make_events([("A", t % 5) for t in range(30)])
+        assert bounded_shuffle(events, 4, seed=1) == bounded_shuffle(events, 4, seed=1)
+        assert bounded_shuffle(events, 4, seed=1) != bounded_shuffle(events, 4, seed=2)
+
+
+class TestSessionDisorderGuard:
+    """Satellite: regressed timestamps raise a clear engine-level error."""
+
+    def test_instances_step_raises_disorder_error(self):
+        engine = StreamingEngine(make_workload())
+        session = engine.new_session()
+        session.step(5, None)
+        with pytest.raises(DisorderError, match="timestamp 3 arrived after batch at timestamp 5"):
+            session.step(3, {(): make_events([("A", 3)])})
+
+    def test_regression_after_empty_batch_is_caught(self):
+        # The historical bug: an all-irrelevant batch did not advance the
+        # cursor, so a later regressed batch silently seeded scopes for
+        # windows that finalization had already flushed.
+        engine = StreamingEngine(make_workload())
+        session = engine.new_session()
+        session.step(12, None)  # empty batch — but time has moved
+        with pytest.raises(DisorderError, match="non-decreasing"):
+            session.step(4, {(): make_events([("A", 4)])})
+
+    def test_pane_step_raises_disorder_error(self):
+        engine = StreamingEngine(make_workload(), panes=True)
+        session = engine.new_session()
+        assert isinstance(session, PaneEngineSession)
+        session.step(9, {(): make_events([("A", 9)])})
+        with pytest.raises(DisorderError, match="timestamp 2 arrived after batch at timestamp 9"):
+            session.step(2, {(): make_events([("B", 2)])})
+
+    def test_run_without_buffer_rejects_disordered_iterable(self):
+        engine = StreamingEngine(make_workload())
+        events = make_events([("A", 8), ("B", 9), ("A", 1), ("B", 2)])
+        with pytest.raises(DisorderError):
+            engine.run(iter(events))
+
+
+class TestEngineDisorderConfig:
+    def test_engine_validates_lateness_and_policy(self):
+        with pytest.raises(ValueError, match="max_lateness"):
+            StreamingEngine(make_workload(), max_lateness=-2)
+        with pytest.raises(ValueError, match="late_policy"):
+            StreamingEngine(make_workload(), max_lateness=3, late_policy="retry")
+
+    def test_shuffled_run_matches_sorted_run(self):
+        events = make_events(
+            [("A", t % 13) for t in range(40)] + [("B", (t * 3) % 13) for t in range(40)]
+        )
+        sorted_report = StreamingEngine(make_workload()).run(EventStream(events))
+        shuffled = bounded_shuffle(
+            sorted(events, key=lambda e: (e.timestamp, e.event_id)), 4, seed=9
+        )
+        engine = StreamingEngine(make_workload(), max_lateness=4)
+        report = engine.run(iter(shuffled))
+        assert {r.key: r.value for r in report.results} == {r.key: r.value for r in sorted_report.results}
+        assert report.metrics.events_late == 0
+        assert report.metrics.events_dropped == 0
+
+    def test_drop_policy_excludes_late_events_from_results(self):
+        window = SlidingWindow(size=10, slide=10)
+        events = make_events([("A", 1), ("B", 25), ("A", 2)])  # A@2 arrives behind
+        engine = StreamingEngine(make_workload(window), max_lateness=3, late_policy="drop")
+        report = engine.run(iter(events))
+        oracle = StreamingEngine(make_workload(window)).run(EventStream(events[:2]))
+        assert {r.key: r.value for r in report.results} == {r.key: r.value for r in oracle.results}
+        assert report.metrics.events_late == 1
+        assert report.metrics.events_dropped == 1
+
+    def test_session_export_includes_reorder_only_when_configured(self):
+        plain = StreamingEngine(make_workload()).new_session()
+        assert "reorder" not in plain.export_state()
+        session = StreamingEngine(make_workload(), max_lateness=5).new_session()
+        assert "reorder" in session.export_state()
+
+    def test_restore_rejects_reorder_presence_mismatch(self):
+        disordered = StreamingEngine(make_workload(), max_lateness=5).new_session()
+        state = disordered.export_state()
+        plain = StreamingEngine(make_workload()).new_session()
+        with pytest.raises(ValueError, match="max_lateness configuration"):
+            plain.restore_state(state)

@@ -314,3 +314,68 @@ class TestShardedEngine:
         sharded = SharonExecutor(workload, plan=SharingPlan(), shards=3).run(stream)
         assert sharded.results.matches(unsharded.results)
         assert sharded.metrics.shards == 3
+
+
+class TestMergeSemantics:
+    """The shard-metrics merge must sum numerators/denominators, never ratios.
+
+    ``events_per_pane``, ``throughput_events_per_second``, and
+    ``avg_latency_ms`` are :class:`RunMetrics` *properties* derived from the
+    additive fields, so a correct merge produces the ratio **of the sums**.
+    These tests pin that contract so nobody "optimises" the merge into
+    summing (or averaging) the per-shard ratio values.
+    """
+
+    def test_ratio_properties_recompute_from_summed_fields(self):
+        from repro.executor.metrics import RunMetrics
+
+        shard_a = RunMetrics("s", relevant_events=10, panes_created=2)
+        shard_b = RunMetrics("s", relevant_events=30, panes_created=3)
+        merged = RunMetrics(
+            "s",
+            relevant_events=shard_a.relevant_events + shard_b.relevant_events,
+            panes_created=shard_a.panes_created + shard_b.panes_created,
+        )
+        # Ratio of sums: 40 / 5 = 8.0 ...
+        assert merged.events_per_pane == 8.0
+        # ... which is neither the sum nor the mean of the per-shard ratios.
+        assert merged.events_per_pane != shard_a.events_per_pane + shard_b.events_per_pane
+        assert merged.events_per_pane != (shard_a.events_per_pane + shard_b.events_per_pane) / 2
+
+    def test_latency_and_throughput_derive_from_merged_fields(self):
+        from repro.executor.metrics import RunMetrics
+
+        merged = RunMetrics(
+            "s", total_events=1000, elapsed_seconds=2.0, windows_finalized=8
+        )
+        assert merged.throughput_events_per_second == 500.0
+        assert merged.avg_latency_ms == 2.0 / 8 * 1000.0
+
+    def test_sharded_pane_run_reports_ratio_of_sums(self):
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        sharded = SharonExecutor(workload, plan=plan, shards=3, panes=True).run(stream)
+        metrics = sharded.metrics
+        assert metrics.panes_created > 0
+        assert metrics.events_per_pane == metrics.relevant_events / metrics.panes_created
+        assert metrics.avg_latency_ms == pytest.approx(
+            metrics.elapsed_seconds / metrics.windows_finalized * 1000.0
+        )
+
+    def test_lateness_counters_participate_in_the_merge(self):
+        """events_late/events_dropped are additive and survive the merge
+        (zero in a sorted sharded run, but present — not dropped)."""
+        workload, stream = many_group_setup()
+        plan = random_maximal_plan(workload, 5)
+        sharded = SharonExecutor(workload, plan=plan, shards=2).run(stream)
+        assert sharded.metrics.events_late == 0
+        assert sharded.metrics.events_dropped == 0
+
+    def test_executors_reject_disorder_with_shards(self):
+        workload, _ = many_group_setup()
+        with pytest.raises(ValueError, match="max_lateness"):
+            SharonExecutor(
+                workload, plan=SharingPlan(), shards=2, max_lateness=4
+            )
+        with pytest.raises(ValueError, match="max_lateness"):
+            ASeqExecutor(workload, shards=2, max_lateness=4)
