@@ -11,16 +11,20 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 ##                             resumed, and compared to the oracle
 ##   DISORDER_DIFF_SCENARIOS - scenarios delivered in bounded-disorder arrival
 ##                             orders through the reorder buffer
+##   KERNEL_DIFF_SCENARIOS   - scenarios replayed through the numpy kernel
+##                             backend (skipped when numpy is absent)
 ORACLE_DIFF_SCENARIOS ?= 240
 PANE_DIFF_SCENARIOS ?= 120
 SHARDED_DIFF_SCENARIOS ?= 40
 REPLAY_DIFF_SCENARIOS ?= 60
 DISORDER_DIFF_SCENARIOS ?= 60
+KERNEL_DIFF_SCENARIOS ?= 60
 export ORACLE_DIFF_SCENARIOS
 export PANE_DIFF_SCENARIOS
 export SHARDED_DIFF_SCENARIOS
 export REPLAY_DIFF_SCENARIOS
 export DISORDER_DIFF_SCENARIOS
+export KERNEL_DIFF_SCENARIOS
 
 ## Best-of-N sample count of the columnar_routing benchmark section
 ## (BENCH_engine.json and the benchmarks/test_engine_throughput.py gate).
@@ -41,9 +45,14 @@ test-fast:
 docs-check:
 	$(PYTHON) -m pytest -x -q tests/docs
 
+## Benchmark sections to run (empty = all).  Space-separated subset of:
+## engine compaction pane_sharing columnar_routing sharded_groups replay
+## disorder kernel_numerics.  Example: make bench BENCH_SECTIONS="kernel_numerics"
+BENCH_SECTIONS ?=
+
 ## Headless engine throughput benchmark; writes BENCH_engine.json.
 bench:
-	$(PYTHON) -m repro bench
+	$(PYTHON) -m repro bench $(addprefix --section ,$(BENCH_SECTIONS))
 
 figures:
 	$(PYTHON) -m repro figures

@@ -1,11 +1,19 @@
 """Setuptools shim.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that the package can be installed editable (``pip install -e .``) in
-offline environments that lack the ``wheel`` package required by PEP 517
-editable builds.
+Kept deliberately minimal so the package installs editable
+(``pip install -e .``) in offline environments that lack the ``wheel``
+package required by PEP 517 editable builds.  The core library is pure
+standard-library Python; the single optional extra enables the vectorised
+kernel backend (``repro.executor.kernels``, ``backend="numpy"``):
+
+    pip install repro[numpy]
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={"numpy": ["numpy"]},
+)

@@ -143,6 +143,7 @@ EXECUTORS = {
         shards=args.shards,
         max_lateness=args.max_lateness,
         late_policy=args.late_policy,
+        backend=args.backend,
     ),
     "aseq": lambda workload, plan, args: ASeqExecutor(
         workload,
@@ -150,6 +151,7 @@ EXECUTORS = {
         shards=args.shards,
         max_lateness=args.max_lateness,
         late_policy=args.late_policy,
+        backend=args.backend,
     ),
     "flink": lambda workload, plan, args: FlinkLikeExecutor(workload, memory_sample_interval=8),
     "spass": lambda workload, plan, args: SpassLikeExecutor(
@@ -163,6 +165,10 @@ SHARDABLE_EXECUTORS = ("sharon", "aseq")
 #: Executors that understand disorder tolerance (``--max-lateness``); the
 #: same engine-backed pair, since the reorder buffer lives in the engine.
 DISORDER_EXECUTORS = SHARDABLE_EXECUTORS
+
+#: Executors that understand the numeric kernel backend (``--backend``); the
+#: same engine-backed pair, since the kernels live in the aggregation layer.
+BACKEND_EXECUTORS = SHARDABLE_EXECUTORS
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +226,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "(the shard splitter consumes the stream in timestamp order; "
                 "see docs/disorder.md)"
             )
+    if args.backend != "python" and args.executor not in BACKEND_EXECUTORS:
+        raise SystemExit(
+            f"--backend is only supported by the engine-backed executors "
+            f"{BACKEND_EXECUTORS}, not {args.executor!r}"
+        )
     workload = resolve_workload(args)
     stream = build_stream(args.dataset, args.duration, args.rate, args.seed)
     if args.record:
@@ -238,6 +249,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             name="Sharon",
             max_lateness=args.max_lateness,
             late_policy=args.late_policy,
+            backend=args.backend,
         )
         replay_report = runner.run(
             stream,
@@ -340,6 +352,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             columnar=not args.no_columnar,
             max_lateness=args.max_lateness,
             late_policy=args.late_policy,
+            backend=args.backend,
         )
 
     replay_report = make_runner().run(
@@ -380,21 +393,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments import (
-        run_compaction_benchmark,
-        run_disorder_benchmark,
-        run_engine_benchmark,
-        run_pane_benchmark,
-        run_replay_benchmark,
-        run_routing_benchmark,
-        run_sharding_benchmark,
-        write_bench_json,
-    )
+#: Section names accepted by ``repro bench --section``, in run order.
+BENCH_SECTION_NAMES = (
+    "engine",
+    "compaction",
+    "pane_sharing",
+    "columnar_routing",
+    "sharded_groups",
+    "replay",
+    "disorder",
+    "kernel_numerics",
+)
 
-    parent = Path(args.output).resolve().parent
-    if not parent.is_dir():
-        raise SystemExit(f"output directory {parent} does not exist")
+
+def _bench_engine() -> list:
+    from .experiments import run_engine_benchmark
+
     records = run_engine_benchmark()
     rows = [
         [
@@ -414,6 +428,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Engine throughput benchmark",
         )
     )
+    return records
+
+
+def _bench_compaction():
+    from .experiments import run_compaction_benchmark
+
     compaction = run_compaction_benchmark()
     print(
         format_table(
@@ -431,6 +451,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Cohort compaction",
         )
     )
+    return compaction
+
+
+def _bench_pane_sharing():
+    from .experiments import run_pane_benchmark
+
     pane_sharing = run_pane_benchmark()
     print(
         format_table(
@@ -449,6 +475,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Pane sharing",
         )
     )
+    return pane_sharing
+
+
+def _bench_columnar_routing():
+    from .experiments import run_routing_benchmark
+
     columnar_routing = run_routing_benchmark()
     print(
         format_table(
@@ -467,6 +499,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Columnar routing",
         )
     )
+    return columnar_routing
+
+
+def _bench_sharded_groups():
+    from .experiments import run_sharding_benchmark
+
     sharded_groups = run_sharding_benchmark()
     print(
         format_table(
@@ -486,6 +524,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Sharded groups",
         )
     )
+    return sharded_groups
+
+
+def _bench_replay():
+    from .experiments import run_replay_benchmark
+
     replay = run_replay_benchmark()
     print(
         format_table(
@@ -505,6 +549,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Deterministic replay",
         )
     )
+    return replay
+
+
+def _bench_disorder():
+    from .experiments import run_disorder_benchmark
+
     disorder = run_disorder_benchmark()
     print(
         format_table(
@@ -524,17 +574,77 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Disorder tolerance",
         )
     )
+    return disorder
+
+
+def _bench_kernel_numerics():
+    from .experiments import run_kernel_benchmark
+
+    kernel_numerics = run_kernel_benchmark()
+    measured = kernel_numerics.numpy_available
+    numpy_rate = f"{kernel_numerics.numpy_events_per_sec:,.0f}" if measured else "n/a"
+    speedup = f"{kernel_numerics.speedup:.2f}x" if measured else "n/a"
+    print(
+        format_table(
+            ["scenario", "events", "cohorts", "numpy", "ev/s python", "ev/s numpy", "speedup", "matches"],
+            [
+                [
+                    kernel_numerics.scenario,
+                    kernel_numerics.events,
+                    kernel_numerics.cohorts_created,
+                    "yes" if kernel_numerics.numpy_available else "no",
+                    f"{kernel_numerics.python_events_per_sec:,.0f}",
+                    numpy_rate,
+                    speedup,
+                    ("yes" if kernel_numerics.results_match else "NO") if measured else "n/a",
+                ]
+            ],
+            title="Kernel numerics",
+        )
+    )
+    return kernel_numerics
+
+
+#: Per-section benchmark runners: each runs one section, prints its table,
+#: and returns the record handed to :func:`write_bench_json`.
+_BENCH_SECTIONS = {
+    "engine": _bench_engine,
+    "compaction": _bench_compaction,
+    "pane_sharing": _bench_pane_sharing,
+    "columnar_routing": _bench_columnar_routing,
+    "sharded_groups": _bench_sharded_groups,
+    "replay": _bench_replay,
+    "disorder": _bench_disorder,
+    "kernel_numerics": _bench_kernel_numerics,
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import write_bench_json
+
+    parent = Path(args.output).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(f"output directory {parent} does not exist")
+    if args.section:
+        # Deduplicate while preserving canonical run order so repeated
+        # --section flags cannot reorder or double-run a section.
+        selected = [name for name in BENCH_SECTION_NAMES if name in set(args.section)]
+    else:
+        selected = list(BENCH_SECTION_NAMES)
+    results = {name: _BENCH_SECTIONS[name]() for name in selected}
+    records = results.get("engine", [])
     target = write_bench_json(
         records,
         args.output,
-        compaction=compaction,
-        pane_sharing=pane_sharing,
-        columnar_routing=columnar_routing,
-        sharded_groups=sharded_groups,
-        replay=replay,
-        disorder=disorder,
+        compaction=results.get("compaction"),
+        pane_sharing=results.get("pane_sharing"),
+        columnar_routing=results.get("columnar_routing"),
+        sharded_groups=results.get("sharded_groups"),
+        replay=results.get("replay"),
+        disorder=results.get("disorder"),
+        kernel_numerics=results.get("kernel_numerics"),
     )
-    print(f"\nWrote {len(records)} records to {target}")
+    print(f"\nWrote {len(selected)} section(s) to {target}")
     return 0
 
 
@@ -602,6 +712,18 @@ def _add_disorder_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="python",
+        choices=["python", "numpy", "auto"],
+        help="kernel backend for the aggregation columns: 'python' is the "
+        "pure-Python reference, 'numpy' vectorises the column commits "
+        "(requires numpy, bit-identical results), 'auto' picks numpy when "
+        "available (default: python)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -653,6 +775,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for checkpoint files (default: checkpoints)",
     )
     _add_disorder_arguments(run_parser)
+    _add_backend_argument(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     figures_parser = subparsers.add_parser(
@@ -750,6 +873,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay N times and verify every run reaches a byte-identical final state",
     )
     _add_disorder_arguments(replay_parser)
+    _add_backend_argument(replay_parser)
     replay_parser.set_defaults(handler=cmd_replay)
 
     bench_parser = subparsers.add_parser(
@@ -759,6 +883,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_engine.json",
         help="path of the machine-readable result file (default: BENCH_engine.json)",
+    )
+    bench_parser.add_argument(
+        "--section",
+        action="append",
+        choices=list(BENCH_SECTION_NAMES),
+        metavar="NAME",
+        help="run only this benchmark section (repeatable; default: all of "
+        + ", ".join(BENCH_SECTION_NAMES)
+        + ")",
     )
     bench_parser.set_defaults(handler=cmd_bench)
 

@@ -59,6 +59,10 @@ class ASeqExecutor:
     late_policy:
         ``"raise"`` (default), ``"drop"``, or a callable side channel for
         events beyond the lateness bound.
+    backend:
+        Numeric kernel backend (:mod:`repro.executor.kernels`):
+        ``"python"`` (default), ``"numpy"``, or ``"auto"``; results are
+        bit-identical across backends.
     """
 
     name = "A-Seq"
@@ -74,6 +78,7 @@ class ASeqExecutor:
         start_method: str | None = None,
         max_lateness: int | None = None,
         late_policy="raise",
+        backend: str = "python",
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -95,6 +100,7 @@ class ASeqExecutor:
                 panes=panes,
                 columnar=columnar,
                 start_method=start_method,
+                backend=backend,
             )
         else:
             self._engine = StreamingEngine(
@@ -106,6 +112,7 @@ class ASeqExecutor:
                 columnar=columnar,
                 max_lateness=max_lateness,
                 late_policy=late_policy,
+                backend=backend,
             )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

@@ -57,6 +57,7 @@ from ..queries.workload import Workload
 from .chained import QueryChainState, stage_event_types
 from .metrics import MetricsCollector, RunMetrics
 from .panes import CompiledPaneWorkload, PaneScope, WindowPaneAccumulator
+from .kernels import resolve_backend
 from .prefix_agg import SharedSegmentState
 from .results import QueryResult, ResultSet
 
@@ -104,6 +105,7 @@ class CompiledWorkload:
         workload: Workload,
         plan: SharingPlan | None = None,
         compaction: bool = True,
+        backend: str = "python",
     ) -> None:
         if len(workload) == 0:
             raise ValueError("cannot execute an empty workload")
@@ -117,6 +119,9 @@ class CompiledWorkload:
         self.plan = plan if plan is not None else SharingPlan()
         #: Whether scopes built from this compilation auto-compact cohorts.
         self.compaction = compaction
+        #: Resolved numeric backend ("python"/"numpy") every scope built from
+        #: this compilation threads into its column families and summarisers.
+        self.backend = resolve_backend(backend)
         reference: Query = workload[0]
         self.window: SlidingWindow = reference.window
         self.predicates: PredicateSet = reference.predicates
@@ -233,12 +238,20 @@ class WindowGroupScope:
         self.window = window
         self.group = group
         self.shared_states: dict[Pattern, SharedSegmentState] = {
-            pattern: SharedSegmentState(pattern, specs, auto_compact=compiled.compaction)
+            pattern: SharedSegmentState(
+                pattern,
+                specs,
+                auto_compact=compiled.compaction,
+                backend=compiled.backend,
+            )
             for pattern, specs in compiled.shared_specs.items()
         }
         self.chains: dict[str, QueryChainState] = {
             query.name: QueryChainState(
-                query, compiled.decompositions[query.name], self.shared_states
+                query,
+                compiled.decompositions[query.name],
+                self.shared_states,
+                backend=compiled.backend,
             )
             for query in compiled.workload
         }
@@ -569,7 +582,7 @@ class PaneEngineSession:
             executor_name=engine.name, memory_sample_interval=engine.memory_sample_interval
         )
         self.results = ResultSet()
-        self._pane_compiled = CompiledPaneWorkload(engine.workload)
+        self._pane_compiled = CompiledPaneWorkload(engine.workload, backend=engine.backend)
         self._pane_width = engine.compiled.window.pane_width
         #: The single open pane: index plus one scope per group seen in it.
         self._open_pane_index: "int | None" = None
@@ -745,10 +758,16 @@ class StreamingEngine:
         columnar: bool = True,
         max_lateness: "int | None" = None,
         late_policy="raise",
+        backend: str = "python",
     ) -> None:
         self.workload = workload
         self.compaction = compaction
-        self.compiled = CompiledWorkload(workload, plan, compaction=compaction)
+        #: Resolved numeric backend (``"python"``/``"numpy"``; ``"auto"``
+        #: resolves here, once, so every scope and shard agrees).
+        self.backend = resolve_backend(backend)
+        self.compiled = CompiledWorkload(
+            workload, plan, compaction=compaction, backend=self.backend
+        )
         self.name = name
         self.memory_sample_interval = memory_sample_interval
         self.panes = panes
@@ -769,7 +788,9 @@ class StreamingEngine:
 
     def set_plan(self, plan: SharingPlan) -> None:
         """Switch to ``plan`` for scopes created from now on (plan migration)."""
-        self.compiled = CompiledWorkload(self.workload, plan, compaction=self.compaction)
+        self.compiled = CompiledWorkload(
+            self.workload, plan, compaction=self.compaction, backend=self.backend
+        )
 
     @staticmethod
     def panes_eligible(window: SlidingWindow) -> bool:

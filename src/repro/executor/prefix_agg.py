@@ -69,6 +69,7 @@ from ..events.event import Event
 from ..events.log import event_from_record, event_to_record
 from ..queries.aggregates import AggregateSpec, AggregateState, AggregationKind
 from ..queries.pattern import Pattern
+from .kernels import NumpyCountColumns, NumpyStateColumns, make_summariser
 
 __all__ = [
     "PrivateSegmentState",
@@ -132,11 +133,12 @@ def group_by_position(
 class PrivateSegmentState:
     """Flat prefix aggregation of one private segment of one query."""
 
-    __slots__ = ("pattern", "spec", "_positions", "states", "_staged", "updates")
+    __slots__ = ("pattern", "spec", "_positions", "states", "_staged", "updates", "_summarise")
 
-    def __init__(self, pattern: Pattern, spec: AggregateSpec) -> None:
+    def __init__(self, pattern: Pattern, spec: AggregateSpec, backend: str = "python") -> None:
         self.pattern = pattern
         self.spec = spec
+        self._summarise = make_summariser(backend)
         self._positions = positions_by_type(pattern)
         self.states: list[AggregateState] = [_ZERO] * len(pattern)
         #: Sparse per-batch additions: {position: addition}; ``None`` outside a batch.
@@ -170,7 +172,7 @@ class PrivateSegmentState:
                 continue
             if additions is None:
                 additions = {}
-            summary = spec.summarise_batch(bucket)
+            summary = self._summarise(spec, bucket)
             additions[position] = base.extend_many(*summary)
             self.updates += summary[0]
         self._staged = additions
@@ -435,7 +437,13 @@ class _CountColumns:
                 del column[:]
 
 
-def _make_columns(spec: AggregateSpec, length: int) -> "_CountColumns | _StateColumns":
+def _make_columns(
+    spec: AggregateSpec, length: int, backend: str = "python"
+) -> "_CountColumns | _StateColumns":
+    if backend == "numpy":
+        if spec.kind == AggregationKind.COUNT_STAR:
+            return NumpyCountColumns(length)
+        return NumpyStateColumns(length)
     if spec.kind == AggregationKind.COUNT_STAR:
         return _CountColumns(length)
     return _StateColumns(length)
@@ -469,6 +477,8 @@ class SharedSegmentState:
         "pattern",
         "specs",
         "auto_compact",
+        "backend",
+        "_summarise",
         "_positions",
         "_length",
         "anchor_starts",
@@ -489,19 +499,24 @@ class SharedSegmentState:
         pattern: Pattern,
         specs: Iterable[AggregateSpec],
         auto_compact: bool = False,
+        backend: str = "python",
     ) -> None:
         self.pattern = pattern
         self.specs = tuple(dict.fromkeys(specs))
         if not self.specs:
             raise ValueError("a shared segment needs at least one aggregate spec")
         self.auto_compact = auto_compact
+        #: Resolved numeric backend ("python" or "numpy", see
+        #: :func:`repro.executor.kernels.resolve_backend`).
+        self.backend = backend
+        self._summarise = make_summariser(backend)
         self._positions = positions_by_type(pattern)
         self._length = len(pattern)
         #: First START event of each anchor cohort, indexed by cohort id.
         self.anchor_starts: list[Event] = []
         #: Struct-of-arrays storage, one column family per spec.
         self._families: dict[AggregateSpec, _CountColumns | _StateColumns] = {
-            spec: _make_columns(spec, self._length) for spec in self.specs
+            spec: _make_columns(spec, self._length, backend) for spec in self.specs
         }
         #: Running totals over completed matches, one per spec (O(1) reads).
         self._totals: dict[AggregateSpec, AggregateState] = {
@@ -582,7 +597,7 @@ class SharedSegmentState:
             for position in sorted(staged, reverse=True):
                 bucket = staged[position]
                 for spec, family in families.items():
-                    summary = spec.summarise_batch(bucket)
+                    summary = self._summarise(spec, bucket)
                     deltas, applied = family.extend_commit(position, summary, position == last)
                     self.updates += applied
                     if deltas:
@@ -595,7 +610,7 @@ class SharedSegmentState:
             self.cohorts_created += 1
             batch = self.staged_new_anchors
             for spec, family in self._families.items():
-                initial = _UNIT.extend_many(*spec.summarise_batch(batch))
+                initial = _UNIT.extend_many(*self._summarise(spec, batch))
                 family.append_cohort(initial)
                 if last == 0 and initial.count:
                     completed.append((spec, [(cohort, initial)]))

@@ -204,6 +204,7 @@ class _ShardTask:
     compaction: bool
     panes: bool
     columnar: bool
+    backend: str
     events: list[Event]
 
 
@@ -222,6 +223,7 @@ def _run_shard(task: _ShardTask) -> tuple[int, list[QueryResult], RunMetrics]:
         compaction=task.compaction,
         panes=task.panes,
         columnar=task.columnar,
+        backend=task.backend,
     )
     report = engine.run(EventStream(task.events, name=f"shard-{task.index}"))
     return task.index, list(report.results), report.metrics
@@ -272,6 +274,7 @@ class ShardedEngine:
         columnar: bool = True,
         start_method: str | None = None,
         parallel: bool = True,
+        backend: str = "python",
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -291,6 +294,7 @@ class ShardedEngine:
             compaction=compaction,
             panes=panes,
             columnar=columnar,
+            backend=backend,
         )
         self.workload = workload
         self.shards = shards
@@ -383,6 +387,7 @@ class ShardedEngine:
                 compaction=self.engine.compaction,
                 panes=self.engine.panes,
                 columnar=self.engine.columnar,
+                backend=self.engine.backend,
                 events=events,
             )
             for index, events in enumerate(slices)

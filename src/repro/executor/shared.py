@@ -81,6 +81,12 @@ class SharonExecutor:
         What happens to events beyond the lateness bound: ``"raise"`` (the
         default), ``"drop"`` (counted in ``events_dropped``), or a callable
         side channel receiving each late event.
+    backend:
+        Numeric kernel backend for the aggregation layer
+        (:mod:`repro.executor.kernels`): ``"python"`` (the default, the
+        exact reference), ``"numpy"`` (vectorised column commits; requires
+        the optional numpy dependency), or ``"auto"`` (numpy when
+        available).  Results are bit-identical across backends.
     """
 
     name = "Sharon"
@@ -99,6 +105,7 @@ class SharonExecutor:
         start_method: str | None = None,
         max_lateness: int | None = None,
         late_policy="raise",
+        backend: str = "python",
     ) -> None:
         if plan is None:
             if rates is None:
@@ -126,6 +133,7 @@ class SharonExecutor:
                 panes=panes,
                 columnar=columnar,
                 start_method=start_method,
+                backend=backend,
             )
         else:
             self._engine = StreamingEngine(
@@ -138,6 +146,7 @@ class SharonExecutor:
                 columnar=columnar,
                 max_lateness=max_lateness,
                 late_policy=late_policy,
+                backend=backend,
             )
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:

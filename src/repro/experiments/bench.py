@@ -49,6 +49,19 @@ future sessions can diff:
   stream (gated ≤ 1.5× in ``benchmarks/test_engine_throughput.py``), and
   the zero-late / shuffled-matches-sorted correctness flags.
 
+* **Kernel numerics** — the aggregation-bound regime (long shared pattern,
+  compaction off, hundreds of live anchor cohorts: the per-cohort column
+  commits dominate) where the optional numpy kernel backend
+  (:mod:`repro.executor.kernels`) must beat the pure-Python columns;
+  recorded as the ``kernel_numerics`` section with both throughputs, the
+  in-harness zero-divergence flag (the numpy run's results must equal the
+  Python run's bit for bit — :func:`run_kernel_benchmark` refuses to record
+  a throughput otherwise), and a ``numpy_available`` flag so no-numpy
+  environments record the Python baseline and skip the speedup gate.
+
+Run ``python -m repro bench --section <name>`` (repeatable) to run a subset
+of the sections while iterating on one of them.
+
 Run it with ``python -m repro bench`` (or ``make bench``), or through pytest
 via ``benchmarks/test_engine_throughput.py`` which asserts the scaling,
 sharing, compaction, pane, columnar-routing, sharding, and replay
@@ -74,6 +87,7 @@ from ..events.event import Event
 from ..events.stream import EventStream
 from ..events.windows import SlidingWindow
 from ..executor.aseq import ASeqExecutor
+from ..executor.kernels import numpy_available
 from ..executor.shared import SharonExecutor
 from ..queries.pattern import Pattern
 from ..queries.predicates import FilterPredicate, PredicateSet
@@ -85,6 +99,7 @@ __all__ = [
     "BenchRecord",
     "CohortCompactionRecord",
     "DisorderRecord",
+    "KernelNumericsRecord",
     "PaneSharingRecord",
     "ColumnarRoutingRecord",
     "ReplayBenchRecord",
@@ -97,9 +112,11 @@ __all__ = [
     "small_slide_scenario",
     "routing_scenario",
     "many_group_scenario",
+    "kernel_scenario",
     "run_disorder_benchmark",
     "run_engine_benchmark",
     "run_compaction_benchmark",
+    "run_kernel_benchmark",
     "run_pane_benchmark",
     "run_replay_benchmark",
     "run_routing_benchmark",
@@ -323,6 +340,40 @@ class ShardedGroupsRecord:
         return payload
 
 
+@dataclass(frozen=True)
+class KernelNumericsRecord:
+    """The kernel-numerics section of ``BENCH_engine.json``.
+
+    Captures, on the aggregation-bound scenario (long shared pattern, many
+    live anchor cohorts, compaction off — the per-cohort column commits are
+    the hot loop), the engine throughput under the numpy kernel backend vs
+    the pure-Python reference columns.  ``results_match`` is the in-harness
+    zero-divergence check: :func:`run_kernel_benchmark` compares the two
+    runs' full result sets and refuses to record a throughput if they
+    differ, so a recorded section always reflects bit-identical results.
+    On machines without the optional numpy dependency only the Python side
+    is measured (``numpy_available`` false, numpy throughput and speedup
+    zero) and the gate in ``benchmarks/test_engine_throughput.py`` skips
+    the ≥2× speedup assertion — mirroring how ``sharded_groups`` guards its
+    CPU-bound speedup.
+    """
+
+    scenario: str
+    events: int
+    queries: int
+    shared_pattern_length: int
+    cohorts_created: int
+    numpy_available: bool
+    python_events_per_sec: float
+    numpy_events_per_sec: float
+    speedup: float
+    results_match: bool
+    samples: int = 1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
 def scaling_scenario(
     scale: int,
     duration: int = 60,
@@ -418,6 +469,50 @@ def long_window_scenario(
             events.append(Event(event_type, timestamp, {}, event_id))
             event_id += 1
     return workload, EventStream(events, name="long-window"), plan
+
+
+def kernel_scenario(
+    num_queries: int = 4,
+    shared_length: int = 8,
+    completion_every: int = 120,
+    window: SlidingWindow | None = None,
+    duration: int = 960,
+) -> tuple[Workload, EventStream, SharingPlan]:
+    """Long shared pattern, many live cohorts: the aggregation-bound regime.
+
+    Every query shares a ``shared_length``-type prefix ``(S0, S1, ...)`` and
+    appends one private suffix type that never occurs, so all engine work is
+    the shared segment's column commits.  Each timestamp opens one anchor
+    cohort (an ``S0``) and extends every interior position, while the
+    completion type (the last ``S``) arrives only every
+    ``completion_every``-th timestamp — most batches are therefore pure
+    column multiply-adds with no completion-delta fan-out (the fan-out is
+    boxed per-runner Python work under every backend, so a
+    completion-heavy stream would just dilute what this section measures).  With compaction
+    off (how :func:`run_kernel_benchmark` runs it) a scope accumulates one
+    cohort per timestamp across a long window, so the per-cohort commit loop
+    dominates the runtime — exactly the loop the numpy backend vectorises.
+    """
+    window = window if window is not None else SlidingWindow(size=480, slide=240)
+    shared_types = tuple(f"S{i}" for i in range(shared_length))
+    queries = [
+        Query(Pattern(shared_types + (f"T{i}",)), window, name=f"kn{i}")
+        for i in range(num_queries)
+    ]
+    workload = Workload(queries, name="kernel-columns")
+    plan = SharingPlan(
+        [SharingCandidate(Pattern(shared_types), tuple(q.name for q in queries), 1.0)]
+    )
+    events = []
+    event_id = 0
+    for timestamp in range(duration):
+        batch_types = list(shared_types[:-1])
+        if timestamp % completion_every == completion_every - 1:
+            batch_types.append(shared_types[-1])
+        for event_type in batch_types:
+            events.append(Event(event_type, timestamp, {}, event_id))
+            event_id += 1
+    return workload, EventStream(events, name="kernel-columns"), plan
 
 
 def small_slide_scenario(
@@ -936,6 +1031,58 @@ def run_disorder_benchmark(repeats: int = 3, max_lateness: int = 8) -> DisorderR
     )
 
 
+def run_kernel_benchmark(repeats: int = 3) -> KernelNumericsRecord:
+    """Measure the numpy kernel backend on the aggregation-bound scenario.
+
+    Runs the same workload/plan (compaction off, so the cohort columns stay
+    long) under ``backend="python"`` and ``backend="numpy"`` and refuses to
+    record a throughput if the two runs disagree on any result — the
+    in-harness zero-divergence check.  Without numpy installed only the
+    Python side is measured and the record carries ``numpy_available=False``
+    (the speedup gate skips there; the parity claim is vacuous with one
+    backend, so ``results_match`` records false).
+    """
+    workload, stream, plan = kernel_scenario()
+    total = len(stream)
+
+    python_report, python_best, _ = _timed_run(
+        SharonExecutor(workload, plan=plan, compaction=False, backend="python"),
+        stream,
+        repeats,
+    )
+    python_rate = round(total / python_best if python_best > 0 else float(total), 1)
+    numpy_rate = 0.0
+    speedup = 0.0
+    matches = False
+    if numpy_available():
+        numpy_report, numpy_best, _ = _timed_run(
+            SharonExecutor(workload, plan=plan, compaction=False, backend="numpy"),
+            stream,
+            repeats,
+        )
+        if not numpy_report.results.matches(python_report.results):
+            raise RuntimeError(
+                "the numpy kernel backend changed the kernel-columns benchmark "
+                "results; refusing to record its throughput"
+            )
+        matches = True
+        numpy_rate = round(total / numpy_best if numpy_best > 0 else float(total), 1)
+        speedup = round(python_best / numpy_best if numpy_best > 0 else 0.0, 3)
+    return KernelNumericsRecord(
+        scenario="kernel-columns",
+        events=total,
+        queries=len(workload),
+        shared_pattern_length=len(plan.candidates[0].pattern) if plan.candidates else 0,
+        cohorts_created=python_report.metrics.cohorts_created,
+        numpy_available=numpy_available(),
+        python_events_per_sec=python_rate,
+        numpy_events_per_sec=numpy_rate,
+        speedup=speedup,
+        results_match=matches,
+        samples=repeats,
+    )
+
+
 def write_bench_json(
     records: list[BenchRecord],
     path: "str | Path" = DEFAULT_BENCH_PATH,
@@ -945,6 +1092,7 @@ def write_bench_json(
     sharded_groups: "ShardedGroupsRecord | None" = None,
     replay: "ReplayBenchRecord | None" = None,
     disorder: "DisorderRecord | None" = None,
+    kernel_numerics: "KernelNumericsRecord | None" = None,
 ) -> Path:
     """Write the records as the machine-readable ``BENCH_engine.json``."""
     payload = {
@@ -964,6 +1112,8 @@ def write_bench_json(
         payload["replay"] = replay.to_json()
     if disorder is not None:
         payload["disorder"] = disorder.to_json()
+    if kernel_numerics is not None:
+        payload["kernel_numerics"] = kernel_numerics.to_json()
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

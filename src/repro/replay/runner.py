@@ -124,6 +124,11 @@ class ReplayRunner:
         checkpoints snapshot the buffer (so ``events_consumed`` counts log
         events read, including ones still held).  Also part of the
         determinism contract recorded into checkpoints.
+    backend:
+        Numeric kernel backend (:mod:`repro.executor.kernels`).  Deliberately
+        *not* part of the determinism contract: backends are bit-identical by
+        construction, so a checkpoint written under one backend restores
+        under any other (and the snapshot bytes match).
 
     Sharded execution is intentionally not supported here: replay targets
     the in-process engine whose state is fully snapshotable; sharded crash
@@ -142,6 +147,7 @@ class ReplayRunner:
         memory_sample_interval: int = 0,
         max_lateness: "int | None" = None,
         late_policy="raise",
+        backend: str = "python",
     ) -> None:
         if plan is None:
             plan = (
@@ -159,6 +165,7 @@ class ReplayRunner:
             columnar=columnar,
             max_lateness=max_lateness,
             late_policy=late_policy,
+            backend=backend,
         )
         self.fingerprint = workload_fingerprint(workload, plan)
 
@@ -167,6 +174,9 @@ class ReplayRunner:
         """The toggle set recorded into (and validated against) checkpoints."""
         engine = self.engine
         late_policy = engine.late_policy
+        # The kernel backend is intentionally absent: backends produce
+        # bit-identical state, so checkpoints are backend-agnostic and may
+        # be restored under either one.
         return {
             "mode": "panes" if engine.uses_panes else "instances",
             "columnar": engine.columnar,

@@ -36,7 +36,9 @@ DOCUMENTED_KNOBS = {
     "SHARDED_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
     "REPLAY_DIFF_SCENARIOS": "tests/integration/test_replay_determinism.py",
     "DISORDER_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
+    "KERNEL_DIFF_SCENARIOS": "tests/integration/test_oracle_differential.py",
     "COLUMNAR_BENCH_REPEATS": "src/repro/experiments/bench.py",
+    "BENCH_SECTIONS": "Makefile",
 }
 
 _LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

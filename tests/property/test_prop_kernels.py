@@ -1,0 +1,142 @@
+"""Property-based backend parity: the numpy kernels change nothing but speed.
+
+For random mixed-aggregate workloads and float-valued streams, the engine
+running ``backend="numpy"`` must produce results identical to the
+pure-Python reference across the full columnar × panes × compaction toggle
+cube — the kernel module's design contract
+(:mod:`repro.executor.kernels`), stated as a property.  A second property
+strengthens result equality to *byte* equality of the final session export
+(the state-hash surface replay determinism and checkpoints stand on).
+
+The whole module skips when the optional numpy dependency is absent; the
+pure-Python side of every assertion is covered by the existing executor
+property suites either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Event, EventStream, SlidingWindow
+from repro.executor import SharonExecutor
+from repro.executor.kernels import numpy_available
+from repro.queries import AggregateSpec, Pattern, PredicateSet, Query, Workload
+from repro.replay import ReplayRunner
+
+from ..conftest import random_maximal_plan
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="the optional numpy dependency is not installed"
+)
+
+EVENT_TYPES = ["A", "B", "C", "D"]
+
+#: Value palette biased toward the float edge cases the vectorised
+#: reductions must not reorder: signed zeros, ties, magnitudes whose sum is
+#: order-sensitive in binary64.
+VALUES = [0.0, -0.0, 1.5, -1.5, 0.1, 0.2, 0.3, 1e15, -1e15, 7.25, -3.0]
+
+
+def _aggregate_for(draw, target_type):
+    kind = draw(st.sampled_from(["star", "count", "sum", "min", "max", "avg"]))
+    if kind == "star":
+        return AggregateSpec.count_star()
+    if kind == "count":
+        return AggregateSpec.count(target_type)
+    return getattr(AggregateSpec, kind)(target_type, "value")
+
+
+@st.composite
+def workloads(draw):
+    """Small workloads mixing every aggregate kind over types A-D."""
+    window_size = draw(st.sampled_from([6, 8, 12]))
+    slide = min(draw(st.sampled_from([3, 4, window_size])), window_size)
+    window = SlidingWindow(size=window_size, slide=slide)
+    predicates = PredicateSet.same("entity") if draw(st.booleans()) else PredicateSet()
+    queries = []
+    for index in range(draw(st.integers(min_value=2, max_value=4))):
+        length = draw(st.integers(min_value=2, max_value=3))
+        types = draw(
+            st.lists(st.sampled_from(EVENT_TYPES), min_size=length, max_size=length, unique=True)
+        )
+        queries.append(
+            Query(
+                pattern=Pattern(types),
+                window=window,
+                aggregate=_aggregate_for(draw, draw(st.sampled_from(types))),
+                predicates=predicates,
+                name=f"kq{index}",
+            )
+        )
+    return Workload(queries)
+
+
+@st.composite
+def streams(draw):
+    """Short random streams with edge-case float values and two entities."""
+    length = draw(st.integers(min_value=5, max_value=40))
+    events = []
+    for event_id in range(length):
+        event_type = draw(st.sampled_from(EVENT_TYPES))
+        timestamp = draw(st.integers(min_value=0, max_value=25))
+        attrs = {"entity": draw(st.integers(min_value=0, max_value=1))}
+        if draw(st.booleans()):
+            attrs["value"] = draw(st.sampled_from(VALUES))
+        events.append(Event(event_type, timestamp, attrs, event_id))
+    return EventStream(events)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_numpy_backend_matches_python_across_toggle_cube(workload, stream, plan_seed):
+    """Results agree between backends at every corner of the 2×2×2 cube."""
+    plan = random_maximal_plan(workload, plan_seed)
+    for columnar in (False, True):
+        for panes in (False, True):
+            for compaction in (False, True):
+                def run(backend):
+                    return (
+                        SharonExecutor(
+                            workload,
+                            plan=plan,
+                            columnar=columnar,
+                            panes=panes,
+                            compaction=compaction,
+                            backend=backend,
+                        )
+                        .run(stream)
+                        .results
+                    )
+
+                reference = run("python")
+                vectorised = run("numpy")
+                assert vectorised.matches(reference), (
+                    (columnar, panes, compaction),
+                    vectorised.differences(reference)[:5],
+                )
+
+
+@settings(max_examples=15, deadline=None)
+@given(workloads(), streams(), st.integers(min_value=0, max_value=10))
+def test_numpy_backend_reaches_byte_identical_final_state(workload, stream, plan_seed):
+    """The final session export hashes identically under both backends.
+
+    Stronger than result equality: the state hash covers results, metrics
+    counters, and all residual engine state, so the numpy kernels must leave
+    no float-noise or representation trace behind — which is also what makes
+    checkpoints backend-agnostic.
+    """
+    plan = random_maximal_plan(workload, plan_seed)
+    events = list(stream)
+
+    def final_hash(backend, panes):
+        runner = ReplayRunner(workload, plan=plan, panes=panes, backend=backend)
+        return runner.run(iter(events)).state_hash
+
+    for panes in (False, True):
+        assert final_hash("numpy", panes) == final_hash("python", panes), (
+            f"panes={panes}: the numpy backend left a different final state"
+        )

@@ -8,6 +8,7 @@ import pytest
 from repro.core import SharingCandidate, SharingPlan
 from repro.events import EventStream, SlidingWindow, WindowCursor
 from repro.executor import StreamingEngine
+from repro.executor.kernels import numpy_available
 from repro.executor.metrics import MetricsCollector
 from repro.executor.prefix_agg import _I64_MAX, _CountColumns
 from repro.queries import AggregateSpec, AggregateState, Pattern, PredicateSet, Query, Workload
@@ -268,3 +269,95 @@ class TestCheckpointFile:
                 checkpoint.workload_fingerprint,
                 {"mode": "panes", "columnar": True, "compaction": True},
             )
+
+
+@pytest.mark.skipif(
+    not numpy_available(), reason="the optional numpy dependency is not installed"
+)
+@pytest.mark.parametrize("panes", [False, True], ids=["instances", "panes"])
+@pytest.mark.parametrize("columnar", [False, True], ids=["scalar", "columnar"])
+class TestCrossBackendSnapshots:
+    """Checkpoints are backend-agnostic: byte-identical and cross-restorable.
+
+    The kernel backends export canonical state (plain ints/floats/None), so a
+    snapshot taken under either backend must serialise to the same bytes and
+    restore into an engine running the *other* backend without changing the
+    final state hash — the contract that keeps ``backend`` out of the
+    checkpoint's ``engine_config``.
+    """
+
+    def _workload(self):
+        window = SlidingWindow(size=10, slide=5)
+        queries = [
+            Query(pattern=Pattern(["A", "B"]), window=window, name="q1"),
+            Query(
+                pattern=Pattern(["A", "B", "C"]),
+                window=window,
+                aggregate=AggregateSpec.sum("B", "value"),
+                name="q2",
+            ),
+        ]
+        return Workload(queries)
+
+    def _stream(self):
+        rows = [
+            ("A", 1, {"value": 1.5}),
+            ("B", 2, {"value": -2.25}),
+            ("A", 4, {"value": 0.0}),
+            ("C", 4, {"value": 7.0}),
+            ("B", 6, {"value": 3.5}),
+            ("A", 8, {"value": -0.5}),
+            ("C", 9, {"value": 2.0}),
+            ("B", 11, {"value": 4.75}),
+            ("C", 12, {"value": 1.0}),
+            ("A", 14, {"value": 6.5}),
+            ("B", 16, {"value": -1.0}),
+            ("C", 17, {"value": 0.25}),
+        ]
+        return EventStream(make_events(rows), name="ck-backend")
+
+    def _engine(self, backend, panes, columnar):
+        return StreamingEngine(
+            self._workload(), plan=make_plan(), panes=panes, columnar=columnar, backend=backend
+        )
+
+    def _snapshot_at_midpoint(self, backend, panes, columnar):
+        stream = self._stream()
+        engine = self._engine(backend, panes, columnar)
+        session = engine.new_session()
+        consumed = 0
+        for timestamp, batch, groups in engine.routed_batches(iter(stream), session.collector):
+            session.step(timestamp, groups)
+            consumed += len(batch)
+            if consumed >= len(stream) // 2:
+                break
+        return session.export_state(), consumed
+
+    def test_snapshots_are_byte_identical_across_backends(self, panes, columnar):
+        python_snapshot, python_consumed = self._snapshot_at_midpoint("python", panes, columnar)
+        numpy_snapshot, numpy_consumed = self._snapshot_at_midpoint("numpy", panes, columnar)
+        assert python_consumed == numpy_consumed
+        assert canonical_json(python_snapshot) == canonical_json(numpy_snapshot)
+
+    @pytest.mark.parametrize(
+        "writer,reader",
+        [("python", "numpy"), ("numpy", "python")],
+        ids=["python->numpy", "numpy->python"],
+    )
+    def test_snapshot_cross_restores_to_full_run_state(self, panes, columnar, writer, reader):
+        stream = self._stream()
+        full_engine = self._engine(reader, panes, columnar)
+        full_session = full_engine.new_session()
+        full_report = full_engine.run(stream, session=full_session)
+
+        snapshot, consumed = self._snapshot_at_midpoint(writer, panes, columnar)
+        resume_engine = self._engine(reader, panes, columnar)
+        resumed = resume_engine.new_session()
+        resumed.restore_state(snapshot)
+        tail = iter(list(stream)[consumed:])
+        for timestamp, batch, groups in resume_engine.routed_batches(tail, resumed.collector):
+            resumed.step(timestamp, groups)
+        resumed_report = resumed.finish()
+
+        assert state_hash(resumed) == state_hash(full_session)
+        assert full_report.results.matches(resumed_report.results)
