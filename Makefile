@@ -13,18 +13,22 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 ##                             orders through the reorder buffer
 ##   KERNEL_DIFF_SCENARIOS   - scenarios replayed through the numpy kernel
 ##                             backend (skipped when numpy is absent)
+##   CHURN_DIFF_SCENARIOS    - seeded random attach/detach schedules replayed
+##                             through the churn-capable executor cube
 ORACLE_DIFF_SCENARIOS ?= 240
 PANE_DIFF_SCENARIOS ?= 120
 SHARDED_DIFF_SCENARIOS ?= 40
 REPLAY_DIFF_SCENARIOS ?= 60
 DISORDER_DIFF_SCENARIOS ?= 60
 KERNEL_DIFF_SCENARIOS ?= 60
+CHURN_DIFF_SCENARIOS ?= 60
 export ORACLE_DIFF_SCENARIOS
 export PANE_DIFF_SCENARIOS
 export SHARDED_DIFF_SCENARIOS
 export REPLAY_DIFF_SCENARIOS
 export DISORDER_DIFF_SCENARIOS
 export KERNEL_DIFF_SCENARIOS
+export CHURN_DIFF_SCENARIOS
 
 ## Best-of-N sample count of the columnar_routing benchmark section
 ## (BENCH_engine.json and the benchmarks/test_engine_throughput.py gate).

@@ -342,6 +342,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
     workload = resolve_workload(args)
     rates = RateCatalog.from_stream(recorded, per="time-unit")
     plan = OPTIMIZERS[args.optimizer](rates).optimize(workload).plan
+    churn = None
+    if args.churn_script:
+        from .executor.churn import load_churn_script
+
+        churn = load_churn_script(args.churn_script)
 
     def make_runner() -> ReplayRunner:
         return ReplayRunner(
@@ -353,6 +358,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             max_lateness=args.max_lateness,
             late_policy=args.late_policy,
             backend=args.backend,
+            churn=churn,
         )
 
     replay_report = make_runner().run(
@@ -368,6 +374,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
           f"in {replay_report.batches} timestamp batches")
     if args.resume:
         print(f"resumed from {args.resume}")
+    if churn:
+        print(f"applied churn script {args.churn_script} ({len(churn)} ops)")
     if replay_report.checkpoints:
         print(f"wrote {len(replay_report.checkpoints)} checkpoints to {args.checkpoint_dir}")
     if args.trace:
@@ -871,6 +879,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="replay N times and verify every run reaches a byte-identical final state",
+    )
+    replay_parser.add_argument(
+        "--churn-script",
+        metavar="PATH",
+        help=(
+            "JSON attach/detach schedule applied deterministically at batch "
+            "boundaries while replaying (see docs/churn.md)"
+        ),
     )
     _add_disorder_arguments(replay_parser)
     _add_backend_argument(replay_parser)

@@ -62,10 +62,21 @@ class RateMonitor:
         self._latest_timestamp: int | None = None
 
     def observe(self, event: Event) -> None:
-        """Fold one event into the per-timestamp type counts."""
+        """Fold one event into the per-timestamp type counts.
+
+        Events already outside the horizon (at or before ``latest - horizon``)
+        are ignored: eviction only runs when the latest timestamp advances, so
+        admitting them would grow ``_counts`` beyond the horizon — a single
+        batch mixing fresh and stale timestamps used to inflate
+        ``observed_time_units`` (and thus dilute ``current_rates``) until the
+        next advance.
+        """
+        latest = self._latest_timestamp
+        if latest is not None and event.timestamp <= latest - self.horizon:
+            return
         bucket = self._counts.setdefault(event.timestamp, Counter())
         bucket[event.event_type] += 1
-        if self._latest_timestamp is None or event.timestamp > self._latest_timestamp:
+        if latest is None or event.timestamp > latest:
             self._latest_timestamp = event.timestamp
             self._evict()
 

@@ -21,6 +21,7 @@ from .workloads import (
     describe_scenario,
     ecommerce_workload_scaled,
     purchase_workload,
+    random_churn_scenario,
     random_scenario,
     traffic_workload,
     traffic_workload_scaled,
@@ -49,6 +50,7 @@ __all__ = [
     "describe_scenario",
     "ecommerce_workload_scaled",
     "purchase_workload",
+    "random_churn_scenario",
     "random_scenario",
     "traffic_workload",
     "traffic_workload_scaled",

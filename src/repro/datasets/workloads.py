@@ -40,6 +40,7 @@ __all__ = [
     "traffic_workload_scaled",
     "ecommerce_workload_scaled",
     "random_scenario",
+    "random_churn_scenario",
     "describe_scenario",
     "PANE_STRESS_WINDOWS",
 ]
@@ -236,6 +237,57 @@ def random_scenario(
             )
         )
     return workload, EventStream(events, name=f"scenario-{seed}")
+
+
+def random_churn_scenario(seed: int, max_queries: int = 5):
+    """One randomized churn-differential scenario: (workload, stream, schedule).
+
+    Builds on :func:`random_scenario` (same windows, predicates, aggregates,
+    and bursty stream) and splits its queries into an initial workload plus
+    mid-run joiners: every joiner becomes a timestamped attach op, and up to
+    two detach ops target random queries.  Candidate detaches are simulated
+    in schedule order and dropped when invalid (target not active at that
+    point, or it would empty the workload), so every generated schedule is
+    applicable as-is.  Deterministic in ``seed``; at least one attach op is
+    always present.
+
+    Returns ``(workload, stream, schedule)`` where ``workload`` holds only
+    the initial queries and ``schedule`` is a
+    :class:`~repro.executor.churn.ChurnSchedule`.
+    """
+    from ..executor.churn import ChurnOp, ChurnSchedule
+
+    full_workload, stream = random_scenario(seed, max_queries=max_queries)
+    rng = random.Random(seed * 6151 + 17)
+    queries = full_workload.queries
+    initial_count = rng.randint(1, len(queries) - 1)
+    initial = queries[:initial_count]
+
+    ops = [
+        ChurnOp("attach", rng.randint(1, 20), query=query) for query in queries[initial_count:]
+    ]
+
+    def applies(candidate: "list[ChurnOp]") -> bool:
+        active = {query.name for query in initial}
+        for op in ChurnSchedule(candidate):
+            if op.kind == "attach":
+                if op.query_name in active:
+                    return False
+                active.add(op.query_name)
+            else:
+                if op.query_name not in active or len(active) == 1:
+                    return False
+                active.remove(op.query_name)
+        return True
+
+    for _ in range(rng.randint(0, 2)):
+        target = rng.choice(queries).name
+        candidate = ops + [ChurnOp("detach", rng.randint(2, 22), query_name=target)]
+        if applies(candidate):
+            ops = candidate
+
+    workload = Workload(initial, name=f"churn-scenario-{seed}")
+    return workload, stream, ChurnSchedule(ops)
 
 
 def describe_scenario(workload: Workload, stream: EventStream) -> str:

@@ -3,6 +3,7 @@ two-step baselines (Flink-like, SPASS-like)."""
 
 from .aseq import ASeqExecutor
 from .chained import QueryChainState, SharedSegmentRunner
+from .churn import ChurnOp, ChurnSchedule, ChurnState, load_churn_script, parse_churn_script
 from .engine import (
     CompiledWorkload,
     EngineSession,
@@ -36,6 +37,11 @@ __all__ = [
     "ASeqExecutor",
     "QueryChainState",
     "SharedSegmentRunner",
+    "ChurnOp",
+    "ChurnSchedule",
+    "ChurnState",
+    "load_churn_script",
+    "parse_churn_script",
     "CompiledWorkload",
     "EngineSession",
     "ExecutionReport",

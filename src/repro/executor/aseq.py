@@ -17,6 +17,7 @@ from ..core.plan import SharingPlan
 from ..events.event import Event
 from ..events.stream import EventStream
 from ..queries.workload import Workload
+from .churn import ChurnOp, ChurnSchedule
 from .engine import ExecutionReport, StreamingEngine
 from .sharding import ShardedEngine
 
@@ -63,6 +64,11 @@ class ASeqExecutor:
         Numeric kernel backend (:mod:`repro.executor.kernels`):
         ``"python"`` (default), ``"numpy"``, or ``"auto"``; results are
         bit-identical across backends.
+    churn:
+        Optional attach/detach schedule applied at batch boundaries while
+        :meth:`run` consumes the stream (``docs/churn.md``); since A-Seq
+        never shares, attached queries simply run unshared from their attach
+        timestamp on.  Incompatible with ``shards > 1``.
     """
 
     name = "A-Seq"
@@ -79,6 +85,7 @@ class ASeqExecutor:
         max_lateness: int | None = None,
         late_policy="raise",
         backend: str = "python",
+        churn: "ChurnSchedule | Iterable[ChurnOp] | None" = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -88,7 +95,18 @@ class ASeqExecutor:
                 "splitter consumes the stream in timestamp order — reorder "
                 "upstream of the sharded engine instead"
             )
+        if churn is None:
+            churn = ChurnSchedule()
+        elif not isinstance(churn, ChurnSchedule):
+            churn = ChurnSchedule(churn)
+        if churn and shards > 1:
+            raise ValueError(
+                "query churn is not supported with shards > 1: the shard "
+                "workers run fixed workload copies — churn the in-process "
+                "engine, or restart the sharded run with the new workload"
+            )
         self.workload = workload
+        self.churn = churn
         if shards > 1:
             self._engine: "StreamingEngine | ShardedEngine" = ShardedEngine(
                 workload,
@@ -117,4 +135,6 @@ class ASeqExecutor:
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
         """Evaluate the workload over ``stream`` and return results + metrics."""
+        if self.churn:
+            return self._engine.run(stream, churn=self.churn)
         return self._engine.run(stream)

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..core.plan import QueryDecomposition, SharingPlan
-from ..events.columnar import _INTERNER_LIMIT, ColumnLayout, ColumnarBatch, columnar_batches
+from ..events.columnar import _INTERNER_LIMIT, ColumnLayout, ColumnarBatch
 from ..events.disorder import (
     DisorderError,
     ReorderBuffer,
@@ -55,6 +55,7 @@ from ..queries.predicates import PredicateSet, compile_filter_kernel
 from ..queries.query import Query
 from ..queries.workload import Workload
 from .chained import QueryChainState, stage_event_types
+from .churn import ChurnOp, ChurnSchedule, ChurnState
 from .metrics import MetricsCollector, RunMetrics
 from .panes import CompiledPaneWorkload, PaneScope, WindowPaneAccumulator
 from .kernels import resolve_backend
@@ -388,6 +389,75 @@ def _load_results(dumped: list) -> ResultSet:
     return results
 
 
+def _churn_effective_at(last_timestamp: int, at: "int | None") -> int:
+    """Validate and resolve a churn op's effective timestamp.
+
+    Gate correctness (a query attached at ``t`` emits exactly the windows
+    with ``start >= t``) needs the effective timestamp to lie strictly after
+    the last processed batch: every window starting later has seen zero
+    events, so the new query misses nothing.  ``None`` means "from the next
+    batch on" (``last_timestamp + 1``).
+    """
+    effective = last_timestamp + 1 if at is None else at
+    if effective <= last_timestamp:
+        raise ValueError(
+            f"churn ops apply between batches: effective timestamp {effective} "
+            f"must be greater than the last processed batch timestamp {last_timestamp}"
+        )
+    return effective
+
+
+def _resolve_churn_plan(
+    workload: Workload,
+    plan: "SharingPlan | None",
+    rates,
+    default: SharingPlan,
+) -> SharingPlan:
+    """Pick the sharing plan to install with a recompiled (churned) workload.
+
+    Precedence: an explicit ``plan``; else re-optimize from ``rates`` through
+    the dynamic optimizer; else the deterministic ``default`` the caller
+    derived from the current plan.  Checkpoint histories fingerprint the
+    resulting (workload, plan), so a rates-optimized churn resumes correctly
+    only when re-optimization is reproducible — prefer explicit plans or the
+    default in replayed schedules.
+    """
+    if plan is not None:
+        return plan
+    if rates is not None:
+        from ..core.optimizer import SharonOptimizer
+
+        return SharonOptimizer(rates).optimize(workload).plan
+    return default
+
+
+def _restrict_plan_without(plan: SharingPlan, query_name: str) -> SharingPlan:
+    """The deterministic post-detach plan: current candidates minus the query.
+
+    Candidates left with fewer than two sharing queries stop being shareable
+    and are dropped entirely (their surviving query falls back to private
+    evaluation); every other candidate is restricted to the survivors.
+    """
+    kept = []
+    for candidate in plan:
+        names = tuple(name for name in candidate.query_names if name != query_name)
+        if len(names) < 2:
+            continue
+        if len(names) == len(candidate.query_names):
+            kept.append(candidate)
+        else:
+            kept.append(candidate.restricted_to(names, candidate.benefit))
+    return SharingPlan(kept)
+
+
+def _churn_fingerprint(workload: Workload, plan: SharingPlan) -> str:
+    """Fingerprint of a churned (workload, plan) for the history record."""
+    # Imported lazily: the replay package imports this module at load time.
+    from ..replay.checkpoint import workload_fingerprint
+
+    return workload_fingerprint(workload, plan)
+
+
 def _restore_reorder(buffer: "ReorderBuffer | None", state: dict) -> None:
     """Restore a session snapshot's reorder buffer (both session classes).
 
@@ -422,7 +492,17 @@ class EngineSession:
 
     mode = "instances"
 
-    __slots__ = ("engine", "collector", "results", "_scopes", "_pool", "_cursor", "_reorder")
+    __slots__ = (
+        "engine",
+        "collector",
+        "results",
+        "_scopes",
+        "_pool",
+        "_cursor",
+        "_reorder",
+        "_churn",
+        "_generations",
+    )
 
     def __init__(self, engine: "StreamingEngine") -> None:
         self.engine = engine
@@ -442,6 +522,12 @@ class EngineSession:
         self._reorder = (
             ReorderBuffer(engine.max_lateness) if engine.max_lateness is not None else None
         )
+        #: Live-churn bookkeeping (``None`` until the first attach/detach).
+        self._churn: "ChurnState | None" = None
+        #: Every compiled workload this session has run under, oldest first;
+        #: open scopes are snapshot-tagged with their generation index so a
+        #: resumed session rebuilds each one under the right compilation.
+        self._generations: list[CompiledWorkload] = [engine.compiled]
 
     def ingest(self, stream):
         """Wrap ``stream`` in this session's reorder feed (identity when none).
@@ -458,6 +544,106 @@ class EngineSession:
             return stream
         return ReorderFeed(stream, self._reorder, self.engine.late_policy, self.collector)
 
+    # -- live workload churn -----------------------------------------------------
+    def _churn_state(self) -> ChurnState:
+        """This session's churn bookkeeping, created on first use."""
+        if self._churn is None:
+            self._churn = ChurnState(self.engine.workload.query_names())
+        return self._churn
+
+    @property
+    def attach_timestamps(self) -> dict[str, int]:
+        """Recorded attach timestamp per query attached mid-run (``docs/churn.md``)."""
+        return {} if self._churn is None else dict(self._churn.attach_timestamps)
+
+    def churn_history(self) -> list[dict]:
+        """The applied attach/detach ops as JSON-safe dicts, oldest first."""
+        return [] if self._churn is None else [dict(entry) for entry in self._churn.history]
+
+    def apply_churn_op(self, op: ChurnOp) -> int:
+        """Apply one :class:`~repro.executor.churn.ChurnOp`; returns its effective timestamp."""
+        if op.kind == "attach":
+            return self.attach_query(op.query, at=op.at, plan=op.plan)
+        return self.detach_query(op.query_name, at=op.at, plan=op.plan)
+
+    def attach_query(self, query: Query, at: "int | None" = None, plan=None, rates=None) -> int:
+        """Attach ``query`` to the live workload between batches.
+
+        The workload is recompiled (layouts, filter kernels, type-relevance
+        selections) and the sharing plan re-resolved (explicit ``plan`` >
+        optimize from ``rates`` > keep the current plan, with the new query
+        unshared).  Open scopes carry over untouched — they keep their
+        creation-time compilation and finish as zombies, exactly like
+        :meth:`StreamingEngine.set_plan` plan migration — and the new query
+        begins at the next window boundary: only windows starting at or
+        after the recorded attach timestamp (returned, and exposed via
+        :attr:`attach_timestamps`) emit results for it.  Such windows have
+        seen zero events when the attach applies, so the new query misses
+        nothing.  The query must be uniform with the running workload and
+        its name unused.
+        """
+        engine = self.engine
+        effective_at = _churn_effective_at(self._cursor.timestamp, at)
+        new_workload = Workload(engine.workload.queries + (query,), name=engine.workload.name)
+        new_plan = _resolve_churn_plan(new_workload, plan, rates, engine.compiled.plan)
+        compiled = engine.set_workload(new_workload, new_plan)
+        self._generations.append(compiled)
+        churn = self._churn_state()
+        churn.active.add(query.name)
+        churn.attach_timestamps[query.name] = effective_at
+        churn.record("attach", effective_at, query.name, _churn_fingerprint(new_workload, new_plan))
+        return effective_at
+
+    def detach_query(self, query_id: str, at: "int | None" = None, plan=None, rates=None) -> int:
+        """Detach the named query between batches, finalizing its open windows.
+
+        Every open window the query may still emit (respecting its attach
+        gate, if it was itself attached mid-run) immediately yields its
+        partial value — exactly what a run over the stream truncated at the
+        effective timestamp would have produced at end-of-stream.  The
+        workload is then recompiled without the query: open scopes keep
+        their zombie chains (which finish unharmed but are filtered from
+        emission), and the plan defaults to the current plan restricted to
+        the survivors.  Detaching the last active query is refused.
+        """
+        engine = self.engine
+        name = query_id
+        if name not in engine.workload:
+            raise ValueError(f"cannot detach unknown query {name!r}")
+        survivors = tuple(q for q in engine.workload if q.name != name)
+        if not survivors:
+            raise ValueError(
+                "cannot detach the last active query; the engine needs a non-empty workload"
+            )
+        effective_at = _churn_effective_at(self._cursor.timestamp, at)
+        new_workload = Workload(survivors, name=engine.workload.name)
+        new_plan = _resolve_churn_plan(
+            new_workload, plan, rates, _restrict_plan_without(engine.compiled.plan, name)
+        )
+        churn = self._churn_state()
+        compiled = engine.set_workload(new_workload, new_plan)
+        self._generations.append(compiled)
+        self._finalize_detached(name, churn)
+        churn.active.discard(name)
+        churn.attach_timestamps.pop(name, None)
+        churn.record("detach", effective_at, name, _churn_fingerprint(new_workload, new_plan))
+        return effective_at
+
+    def _finalize_detached(self, name: str, churn: ChurnState) -> None:
+        """Emit the detached query's partial value for every open window."""
+        emitted = 0
+        for window in sorted(self._scopes):
+            if not churn.emits(name, window.start):
+                continue
+            by_group = self._scopes[window]
+            for group in sorted(by_group, key=repr):
+                chain = by_group[group].chains.get(name)
+                if chain is None:
+                    continue
+                self.results.add(QueryResult(name, window, group, chain.finalize_value()))
+                emitted += 1
+        self.collector.results_emitted += emitted
+
     def step(self, timestamp: int, groups: "dict[tuple, list[Event]] | None") -> None:
         """Process one routed timestamp batch (see ``routed_batches``)."""
         engine = self.engine
@@ -469,7 +655,9 @@ class EngineSession:
                 f"non-decreasing batch timestamps — feed disordered streams "
                 f"through a reorder buffer (max_lateness, docs/disorder.md)"
             )
-        engine._finalize_expired(self._scopes, timestamp, self.results, self.collector, self._pool)
+        engine._finalize_expired(
+            self._scopes, timestamp, self.results, self.collector, self._pool, self._churn
+        )
         # Advance even for all-irrelevant batches: the cursor's timestamp is
         # this session's disorder guard, and skipping empty batches would let
         # a later regressed batch silently seed scopes for windows that
@@ -489,7 +677,9 @@ class EngineSession:
     def finish(self) -> ExecutionReport:
         """Flush all remaining windows and freeze the report."""
         engine = self.engine
-        engine._finalize_expired(self._scopes, None, self.results, self.collector, self._pool)
+        engine._finalize_expired(
+            self._scopes, None, self.results, self.collector, self._pool, self._churn
+        )
         metrics = self.collector.finish()
         return ExecutionReport(results=self.results, metrics=metrics, plan=engine.compiled.plan)
 
@@ -503,12 +693,21 @@ class EngineSession:
         resumed-run and full-run state hashes comparable.  The scope pool is
         deliberately excluded: pooled scopes are reset husks that cannot
         influence any future result.
+
+        After live churn (attach/detach) the export additionally carries the
+        churn state and tags every scope with its workload-generation index;
+        churn-free sessions keep the pre-churn schema byte-for-byte.
         """
+        churn = self._churn
         scopes = []
         for window in sorted(self._scopes):
             by_group = self._scopes[window]
             for group in sorted(by_group, key=repr):
-                scopes.append(by_group[group].export_state())
+                scope = by_group[group]
+                dump = scope.export_state()
+                if churn is not None:
+                    dump["generation"] = self._generation_index(scope.compiled)
+                scopes.append(dump)
         state = {
             "mode": self.mode,
             "cursor": self._cursor.export_state(),
@@ -519,7 +718,20 @@ class EngineSession:
         # Disorder-free sessions export exactly the pre-disorder schema.
         if self._reorder is not None:
             state["reorder"] = self._reorder.export_state()
+        if churn is not None:
+            state["churn"] = churn.export()
         return state
+
+    def _generation_index(self, compiled: CompiledWorkload) -> int:
+        """Index of ``compiled`` in this session's generation list (identity)."""
+        for index, generation in enumerate(self._generations):
+            if generation is compiled:
+                return index
+        raise ValueError(
+            "an open scope's compiled workload is not one of this session's "
+            "churn generations; combining set_plan with attach/detach "
+            "checkpoints is not supported"
+        )
 
     def restore_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`export_state`.
@@ -527,12 +739,23 @@ class EngineSession:
         The engine must be configured identically to the exporting one
         (same workload, plan, and toggles) — checkpoint files carry a
         workload fingerprint and the engine config so the replay layer can
-        verify this before calling here.
+        verify this before calling here.  A snapshot taken after live churn
+        additionally requires the same attach/detach ops to have been
+        re-applied (in order) to this session first, so scopes tagged with a
+        generation index find their compilation in :attr:`_generations`.
         """
         if state.get("mode") != self.mode:
             raise ValueError(
                 f"snapshot was taken in {state.get('mode')!r} mode, "
                 f"this session runs in {self.mode!r} mode"
+            )
+        snapshot_churn = state.get("churn")
+        current_churn = None if self._churn is None else self._churn.export()
+        if snapshot_churn != current_churn:
+            raise ValueError(
+                "snapshot churn history does not match this session's; "
+                "re-apply the same attach/detach ops (in order) on a fresh "
+                "session before restoring"
             )
         self._cursor.restore_state(state["cursor"])
         self._scopes = {}
@@ -541,7 +764,17 @@ class EngineSession:
         for dump in state["scopes"]:
             window = WindowInstance(dump["window"][0], dump["window"][1])
             group = tuple(dump["group"])
-            scope = WindowGroupScope(compiled, window, group)
+            generation = dump.get("generation")
+            if generation is None:
+                scope_compiled = compiled
+            elif 0 <= generation < len(self._generations):
+                scope_compiled = self._generations[generation]
+            else:
+                raise ValueError(
+                    f"snapshot references workload generation {generation}, "
+                    f"but this session only has {len(self._generations)}"
+                )
+            scope = WindowGroupScope(scope_compiled, window, group)
             scope.restore_state(dump)
             self._scopes.setdefault(window, {})[group] = scope
         self.results = _load_results(state["results"])
@@ -574,6 +807,7 @@ class PaneEngineSession:
         "_accumulators",
         "_last_timestamp",
         "_reorder",
+        "_churn",
     )
 
     def __init__(self, engine: "StreamingEngine") -> None:
@@ -596,6 +830,8 @@ class PaneEngineSession:
         self._reorder = (
             ReorderBuffer(engine.max_lateness) if engine.max_lateness is not None else None
         )
+        #: Live-churn bookkeeping (``None`` until the first attach/detach).
+        self._churn: "ChurnState | None" = None
 
     def ingest(self, stream):
         """Wrap ``stream`` in this session's reorder feed (identity when none).
@@ -605,6 +841,124 @@ class PaneEngineSession:
         if self._reorder is None:
             return stream
         return ReorderFeed(stream, self._reorder, self.engine.late_policy, self.collector)
+
+    # -- live workload churn -----------------------------------------------------
+    def _churn_state(self) -> ChurnState:
+        """This session's churn bookkeeping, created on first use."""
+        if self._churn is None:
+            self._churn = ChurnState(self.engine.workload.query_names())
+        return self._churn
+
+    @property
+    def attach_timestamps(self) -> dict[str, int]:
+        """Recorded attach timestamp per query attached mid-run (``docs/churn.md``)."""
+        return {} if self._churn is None else dict(self._churn.attach_timestamps)
+
+    def churn_history(self) -> list[dict]:
+        """The applied attach/detach ops as JSON-safe dicts, oldest first."""
+        return [] if self._churn is None else [dict(entry) for entry in self._churn.history]
+
+    def apply_churn_op(self, op: ChurnOp) -> int:
+        """Apply one :class:`~repro.executor.churn.ChurnOp`; returns its effective timestamp."""
+        if op.kind == "attach":
+            return self.attach_query(op.query, at=op.at, plan=op.plan)
+        return self.detach_query(op.query_name, at=op.at, plan=op.plan)
+
+    def attach_query(self, query: Query, at: "int | None" = None, plan=None, rates=None) -> int:
+        """Attach ``query`` between batches (pane-mode counterpart).
+
+        Same contract as :meth:`EngineSession.attach_query`.  Pane state
+        migrates in place: matrix keys are value-based (pattern types,
+        aggregate spec), so every surviving key's matrices and prefix
+        vectors carry over to the recompiled pane workload verbatim; the new
+        query's matrices appear lazily.  Events the still-open pane absorbed
+        before the attach can only feed windows starting before the attach
+        timestamp, which the emission gate suppresses for the new query.
+        """
+        engine = self.engine
+        effective_at = _churn_effective_at(self._last_timestamp, at)
+        new_workload = Workload(engine.workload.queries + (query,), name=engine.workload.name)
+        new_plan = _resolve_churn_plan(new_workload, plan, rates, engine.compiled.plan)
+        engine.set_workload(new_workload, new_plan)
+        self._migrate_panes(new_workload)
+        churn = self._churn_state()
+        churn.active.add(query.name)
+        churn.attach_timestamps[query.name] = effective_at
+        churn.record("attach", effective_at, query.name, _churn_fingerprint(new_workload, new_plan))
+        return effective_at
+
+    def detach_query(self, query_id: str, at: "int | None" = None, plan=None, rates=None) -> int:
+        """Detach the named query between batches (pane-mode counterpart).
+
+        Same contract as :meth:`EngineSession.detach_query`: every window the
+        query may still emit yields its partial value first — folding a
+        *copy* of the still-open pane's matrices into windows it covers, so
+        live pane state is untouched — then the pane workload is recompiled
+        and matrix keys no other query shares are dropped.
+        """
+        engine = self.engine
+        name = query_id
+        if name not in engine.workload:
+            raise ValueError(f"cannot detach unknown query {name!r}")
+        survivors = tuple(q for q in engine.workload if q.name != name)
+        if not survivors:
+            raise ValueError(
+                "cannot detach the last active query; the engine needs a non-empty workload"
+            )
+        effective_at = _churn_effective_at(self._last_timestamp, at)
+        new_workload = Workload(survivors, name=engine.workload.name)
+        new_plan = _resolve_churn_plan(
+            new_workload, plan, rates, _restrict_plan_without(engine.compiled.plan, name)
+        )
+        churn = self._churn_state()
+        engine.set_workload(new_workload, new_plan)
+        self._finalize_detached(name, churn)
+        self._migrate_panes(new_workload)
+        churn.active.discard(name)
+        churn.attach_timestamps.pop(name, None)
+        churn.record("detach", effective_at, name, _churn_fingerprint(new_workload, new_plan))
+        return effective_at
+
+    def _migrate_panes(self, workload: Workload) -> None:
+        """Re-point live pane state at a freshly compiled pane workload."""
+        new_compiled = CompiledPaneWorkload(workload, backend=self.engine.backend)
+        for scope in self._open_pane_scopes.values():
+            scope.migrate(new_compiled)
+        for by_group in self._accumulators.values():
+            for accumulator in by_group.values():
+                accumulator.migrate(new_compiled)
+        self._pane_compiled = new_compiled
+
+    def _finalize_detached(self, name: str, churn: ChurnState) -> None:
+        """Emit the detached query's partial value for every open window.
+
+        Open windows are the accumulators' plus (for the still-open pane)
+        every window covering it; the open pane's matrices are folded into a
+        copied vector per window so no live state mutates.
+        """
+        compiled = self._pane_compiled  # pre-migration: still contains the query
+        window_groups: dict[WindowInstance, set] = {
+            window: set(by_group) for window, by_group in self._accumulators.items()
+        }
+        open_windows: set[WindowInstance] = set()
+        if self._open_pane_index is not None and self._open_pane_scopes:
+            open_windows = set(compiled.window.instances_covering_pane(self._open_pane_index))
+            for window in open_windows:
+                window_groups.setdefault(window, set()).update(self._open_pane_scopes)
+        emitted = 0
+        blank = WindowPaneAccumulator(compiled)
+        for window in sorted(window_groups):
+            if not churn.emits(name, window.start):
+                continue
+            in_open = window in open_windows
+            by_group = self._accumulators.get(window, {})
+            for group in sorted(window_groups[window], key=repr):
+                accumulator = by_group.get(group, blank)
+                open_scope = self._open_pane_scopes.get(group) if in_open else None
+                value = accumulator.partial_value(name, open_scope)
+                self.results.add(QueryResult(name, window, group, value))
+                emitted += 1
+        self.collector.results_emitted += emitted
 
     def step(self, timestamp: int, groups: "dict[tuple, list[Event]] | None") -> None:
         """Process one routed timestamp batch into the current pane."""
@@ -625,7 +979,9 @@ class PaneEngineSession:
             )
             self._open_pane_scopes = {}
             self._open_pane_index = None
-        engine._finalize_panes_expired(self._accumulators, timestamp, self.results, self.collector)
+        engine._finalize_panes_expired(
+            self._accumulators, timestamp, self.results, self.collector, self._churn
+        )
 
         if groups:
             self._open_pane_index = pane_index
@@ -646,7 +1002,9 @@ class PaneEngineSession:
             )
             self._open_pane_scopes = {}
             self._open_pane_index = None
-        engine._finalize_panes_expired(self._accumulators, None, self.results, self.collector)
+        engine._finalize_panes_expired(
+            self._accumulators, None, self.results, self.collector, self._churn
+        )
         metrics = self.collector.finish()
         return ExecutionReport(results=self.results, metrics=metrics, plan=engine.compiled.plan)
 
@@ -685,14 +1043,34 @@ class PaneEngineSession:
         # Disorder-free sessions stay schema-compatible with old snapshots.
         if self._reorder is not None:
             state["reorder"] = self._reorder.export_state()
+        # Churn-free sessions keep the pre-churn schema byte-for-byte; after
+        # churn, every live matrix/vector references the *current* pane
+        # compilation (migration re-points them), so unlike the per-instance
+        # session no generation tags are needed.
+        if self._churn is not None:
+            state["churn"] = self._churn.export()
         return state
 
     def restore_state(self, state: dict) -> None:
-        """Restore a snapshot produced by :meth:`export_state`."""
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        A snapshot taken after live churn requires the same attach/detach
+        ops re-applied (in order) to this session first, so the session's
+        pane compilation matches the one the snapshot's matrix indices
+        reference.
+        """
         if state.get("mode") != self.mode:
             raise ValueError(
                 f"snapshot was taken in {state.get('mode')!r} mode, "
                 f"this session runs in {self.mode!r} mode"
+            )
+        snapshot_churn = state.get("churn")
+        current_churn = None if self._churn is None else self._churn.export()
+        if snapshot_churn != current_churn:
+            raise ValueError(
+                "snapshot churn history does not match this session's; "
+                "re-apply the same attach/detach ops (in order) on a fresh "
+                "session before restoring"
             )
         self._open_pane_index = state["open_pane_index"]
         self._open_pane_scopes = {}
@@ -792,6 +1170,28 @@ class StreamingEngine:
             self.workload, plan, compaction=self.compaction, backend=self.backend
         )
 
+    def set_workload(self, workload: Workload, plan: "SharingPlan | None" = None) -> CompiledWorkload:
+        """Swap the live workload (query churn) and return the new compilation.
+
+        The compiled workload — layouts, filter kernels, type-relevance
+        selections, dispatch tables — is rebuilt from scratch; open scopes
+        keep the compilation they were created under and finish as zombies,
+        exactly as under :meth:`set_plan` plan migration.  Window geometry
+        cannot change (churned workloads stay uniform with the running
+        queries), so the engine's mode (panes/instances) is stable for the
+        whole run.  Drive churn through the session surface
+        (:meth:`EngineSession.attach_query`/:meth:`EngineSession.detach_query`),
+        which additionally maintains emission gates, migrates pane state,
+        and records the churn history checkpoints pin.
+        """
+        compiled = CompiledWorkload(workload, plan, compaction=self.compaction, backend=self.backend)
+        current = self.compiled.window
+        if (compiled.window.size, compiled.window.slide) != (current.size, current.slide):
+            raise ValueError("query churn cannot change the window geometry of a running engine")
+        self.workload = workload
+        self.compiled = compiled
+        return compiled
+
     @staticmethod
     def panes_eligible(window: SlidingWindow) -> bool:
         """Whether pane partitioning can pay off for ``window``.
@@ -828,6 +1228,7 @@ class StreamingEngine:
         stream: "EventStream | Iterable[Event]",
         on_batch=None,
         session: "EngineSession | PaneEngineSession | None" = None,
+        churn: "ChurnSchedule | Iterable[ChurnOp] | None" = None,
     ) -> ExecutionReport:
         """Process the whole stream and return results plus metrics.
 
@@ -849,11 +1250,35 @@ class StreamingEngine:
             Continue an existing session (typically one restored from a
             checkpoint) instead of starting fresh; the caller is responsible
             for feeding a stream suffix the session has not consumed yet.
+        churn:
+            Optional :class:`~repro.executor.churn.ChurnSchedule` (or ops to
+            build one from) of attach/detach operations.  Each op is applied
+            via :meth:`EngineSession.apply_churn_op` immediately before the
+            first timestamp batch at or after its ``at``, so the same
+            schedule replays identically against the same stream.  Ops left
+            over past the end of the stream (``at`` beyond the last batch)
+            are applied before final window flush.
         """
         if session is None:
             session = self.new_session()
         elif session.engine is not self:
             raise ValueError("session belongs to a different engine")
+        if churn is None:
+            churn = ChurnSchedule()
+        elif not isinstance(churn, ChurnSchedule):
+            churn = ChurnSchedule(churn)
+        ops = churn.ops
+        op_index = 0
+
+        def apply_due_churn(timestamp: int) -> None:
+            # Invoked by the routing layer with each batch timestamp *before*
+            # the batch is routed, so an op recompiles the workload (layout,
+            # kernels, relevance) in time to route its own trigger batch.
+            nonlocal op_index
+            while op_index < len(ops) and ops[op_index].at <= timestamp:
+                session.apply_churn_op(ops[op_index])
+                op_index += 1
+
         # With max_lateness configured this wraps the stream in the session's
         # reorder feed (arrival order in, watermark-released batches out);
         # otherwise it is the identity.
@@ -861,7 +1286,10 @@ class StreamingEngine:
         collector = session.collector
         collector.start()
 
-        for timestamp, batch, groups in self.routed_batches(stream, collector):
+        batches = self.routed_batches(
+            stream, collector, before_batch=apply_due_churn if ops else None
+        )
+        for timestamp, batch, groups in batches:
             session.step(timestamp, groups)
 
             if on_batch is not None:
@@ -871,10 +1299,13 @@ class StreamingEngine:
                 on_batch(timestamp, list(batch) if self.columnar else batch)
                 collector.start()
 
+        while op_index < len(ops):
+            session.apply_churn_op(ops[op_index])
+            op_index += 1
         return session.finish()
 
     # -- batch routing ------------------------------------------------------------
-    def routed_batches(self, stream, collector: MetricsCollector):
+    def routed_batches(self, stream, collector: MetricsCollector, before_batch=None):
         """Yield ``(timestamp, batch_events, groups)`` for every timestamp batch.
 
         ``groups`` maps each group key to the batch's relevant events (in
@@ -884,23 +1315,63 @@ class StreamingEngine:
         (:meth:`CompiledWorkload.route_columnar`); in scalar mode every event
         passes through :meth:`CompiledWorkload.is_relevant`/:meth:`group_key`
         individually.  ``self.compiled`` is re-read per batch so plan
-        migration (:meth:`set_plan`, driven from ``on_batch``) takes effect
-        mid-run in both modes.  A :class:`~repro.events.disorder.ReorderFeed`
-        (what :meth:`EngineSession.ingest` returns for a disorder-configured
+        migration (:meth:`set_plan`, driven from ``on_batch``) and query
+        churn take effect mid-run in both modes; a churn that changes the
+        column layout re-fetches the stream's cached batch list for the new
+        layout and continues at the same position.  ``before_batch``, when
+        given, is called with each batch's timestamp *before* the batch is
+        routed — the churn hook: an op due at that timestamp recompiles the
+        workload in time to route its own trigger batch (events only the
+        attached query finds relevant must survive routing).  A
+        :class:`~repro.events.disorder.ReorderFeed` (what
+        :meth:`EngineSession.ingest` returns for a disorder-configured
         engine) arrives pre-batched and is routed by :meth:`_routed_pairs`.
         """
         if isinstance(stream, ReorderFeed):
-            yield from self._routed_pairs(stream, collector)
+            yield from self._routed_pairs(stream, collector, before_batch)
             return
         if self.columnar:
-            for batch in columnar_batches(stream, self.compiled.layout):
-                collector.total_events += batch.size
-                collector.columnar_batches += 1
-                count, groups = self.compiled.route_columnar(batch)
-                collector.relevant_events += count
-                yield batch.timestamp, batch.events, groups
+            if isinstance(stream, EventStream):
+                compiled = self.compiled
+                batches = stream.columnar_batches(compiled.layout)
+                index = 0
+                while index < len(batches):
+                    if before_batch is not None:
+                        # Timestamps agree across layouts, so peeking the old
+                        # list is safe even if the hook swaps the workload.
+                        before_batch(batches[index].timestamp)
+                    current = self.compiled
+                    if current is not compiled:
+                        if current.layout != compiled.layout:
+                            batches = stream.columnar_batches(current.layout)
+                        compiled = current
+                    batch = batches[index]
+                    index += 1
+                    collector.total_events += batch.size
+                    collector.columnar_batches += 1
+                    count, groups = compiled.route_columnar(batch)
+                    collector.relevant_events += count
+                    yield batch.timestamp, batch.events, groups
+            else:
+                interner: dict[tuple, tuple] = {}
+                for timestamp, events in timestamp_batches(stream):
+                    if before_batch is not None:
+                        before_batch(timestamp)
+                    compiled = self.compiled
+                    batch = ColumnarBatch.from_events(
+                        timestamp, events, compiled.layout, interner
+                    )
+                    if len(interner) > _INTERNER_LIMIT:
+                        interner = {}
+                    collector.total_events += batch.size
+                    collector.columnar_batches += 1
+                    count, groups = compiled.route_columnar(batch)
+                    collector.relevant_events += count
+                    yield timestamp, batch.events, groups
         else:
             for timestamp, batch in timestamp_batches(stream):
+                if before_batch is not None:
+                    before_batch(timestamp)
                 compiled = self.compiled
                 groups: "dict[tuple, list[Event]] | None" = None
                 for event in batch:
@@ -912,7 +1383,7 @@ class StreamingEngine:
                         groups.setdefault(compiled.group_key(event), []).append(event)
                 yield timestamp, batch, groups
 
-    def _routed_pairs(self, pairs: "ReorderFeed", collector: MetricsCollector):
+    def _routed_pairs(self, pairs: "ReorderFeed", collector: MetricsCollector, before_batch=None):
         """Route pre-batched ``(timestamp, [events])`` pairs (the reorder feed).
 
         The disorder counterpart of :meth:`routed_batches`' two branches: the
@@ -921,12 +1392,15 @@ class StreamingEngine:
         released batch — with its own streaming key interner; a feed is never
         an :class:`~repro.events.stream.EventStream`, so there is no
         per-layout cache to serve from — and scalar mode routes the released
-        events one by one.  ``self.compiled`` is re-read per batch, as in
-        :meth:`routed_batches`, so plan migration still applies.
+        events one by one.  ``self.compiled`` is re-read per batch and
+        ``before_batch`` fires before routing, as in :meth:`routed_batches`,
+        so plan migration and churn still apply.
         """
         if self.columnar:
             interner: dict[tuple, tuple] = {}
             for timestamp, events in pairs:
+                if before_batch is not None:
+                    before_batch(timestamp)
                 compiled = self.compiled
                 batch = ColumnarBatch.from_events(timestamp, events, compiled.layout, interner)
                 if len(interner) > _INTERNER_LIMIT:
@@ -938,6 +1412,8 @@ class StreamingEngine:
                 yield timestamp, batch.events, groups
         else:
             for timestamp, events in pairs:
+                if before_batch is not None:
+                    before_batch(timestamp)
                 compiled = self.compiled
                 groups: "dict[tuple, list[Event]] | None" = None
                 for event in events:
@@ -977,8 +1453,14 @@ class StreamingEngine:
         current_timestamp: "int | None",
         results: ResultSet,
         collector: MetricsCollector,
+        churn: "ChurnState | None" = None,
     ) -> None:
-        """Emit results for every window that ended before ``current_timestamp``."""
+        """Emit results for every window that ended before ``current_timestamp``.
+
+        With ``churn`` supplied, emission is gated per query: detached
+        queries are silenced and mid-run attached queries only emit windows
+        starting at or after their attach timestamp.
+        """
         expired = [
             window
             for window in accumulators
@@ -990,11 +1472,15 @@ class StreamingEngine:
         queries = self.compiled.workload
         for window in sorted(expired):
             for group, accumulator in accumulators[window].items():
+                emitted = 0
                 for query in queries:
+                    if churn is not None and not churn.emits(query.name, window.start):
+                        continue
                     results.add(
                         QueryResult(query.name, window, group, accumulator.final_value(query.name))
                     )
-                collector.count_window(len(queries))
+                    emitted += 1
+                collector.count_window(emitted)
             del accumulators[window]
 
     # -- internal helpers --------------------------------------------------------
@@ -1023,12 +1509,17 @@ class StreamingEngine:
         results: ResultSet,
         collector: MetricsCollector,
         pool: list[WindowGroupScope],
+        churn: "ChurnState | None" = None,
     ) -> None:
         """Finalize every scope whose window ended before ``current_timestamp``.
 
         ``None`` finalizes everything (end of stream).  Memory is sampled just
         before finalization, when the engine's state is at its largest.
-        Finalized scopes are reset and parked in ``pool`` for reuse.
+        Finalized scopes are reset and parked in ``pool`` for reuse.  With
+        ``churn`` supplied, emission is gated per query: detached queries are
+        silenced (their zombie chains still finalize, results are dropped)
+        and mid-run attached queries only emit windows starting at or after
+        their attach timestamp.
         """
         expired = [
             window
@@ -1041,6 +1532,12 @@ class StreamingEngine:
         for window in sorted(expired):
             for scope in scopes[window].values():
                 emitted = scope.finalize()
+                if churn is not None:
+                    emitted = [
+                        result
+                        for result in emitted
+                        if churn.emits(result.query_name, window.start)
+                    ]
                 for result in emitted:
                     results.add(result)
                 collector.count_window(len(emitted))

@@ -377,6 +377,20 @@ class PaneScope:
         """Total matrix-cell updates this pane scope performed."""
         return sum(matrix.updates for matrix in self.matrices.values())
 
+    def migrate(self, compiled: CompiledPaneWorkload) -> None:
+        """Carry the scope across a workload recompilation (query churn).
+
+        Matrix keys are value objects — ``(pattern event types, aggregate
+        spec)`` — so every matrix whose key survives in the new compilation
+        keeps accumulating untouched; matrices owned solely by detached
+        queries are dropped.  Matrices for newly attached keys appear lazily
+        on their first relevant event, exactly as at session start.
+        """
+        self.matrices = {
+            key: matrix for key, matrix in self.matrices.items() if key in compiled.matrix_infos
+        }
+        self.compiled = compiled
+
     # -- checkpointing -----------------------------------------------------------
     def export_state(self) -> dict:
         """Snapshot the scope's live matrices, keyed by matrix index."""
@@ -426,6 +440,43 @@ class WindowPaneAccumulator:
             matrix.fold(vector)
             folds += 1
         return folds
+
+    def migrate(self, compiled: CompiledPaneWorkload) -> None:
+        """Carry the accumulator across a workload recompilation (query churn).
+
+        The value-based matrix keys make this a pure re-pointing: vectors for
+        surviving keys keep folding, vectors owned solely by detached queries
+        are dropped (see :meth:`PaneScope.migrate`).
+        """
+        self.vectors = {
+            key: vector for key, vector in self.vectors.items() if key in compiled.matrix_infos
+        }
+        self.compiled = compiled
+
+    def partial_value(self, query_name: str, open_scope: "PaneScope | None" = None):
+        """The query's RETURN value as of now, including the open pane.
+
+        Detach finalization uses this to emit a query's open windows before
+        teardown: the committed prefix vector is copied, the still-open
+        pane's matrix (if any) is folded into the copy, and the result is
+        finalized exactly as :meth:`final_value` would at window close — so a
+        detach at ``t`` matches a run over the stream truncated to events
+        before ``t``.  The accumulator itself is left untouched.
+        """
+        compiled = self.compiled
+        key = compiled.key_by_query[query_name]
+        _pattern, spec, _positions = compiled.matrix_infos[key]
+        vector = self.vectors.get(key)
+        matrix = open_scope.matrices.get(key) if open_scope is not None else None
+        if matrix is not None:
+            vector = list(vector) if vector is not None else matrix.new_vector()
+            matrix.fold(vector)
+        if vector is None:
+            return spec.finalize(_ZERO)
+        last = vector[-1]
+        if isinstance(last, int):
+            return spec.finalize(AggregateState(count=last) if last else _ZERO)
+        return spec.finalize(last)
 
     # -- checkpointing -----------------------------------------------------------
     def export_state(self) -> dict:

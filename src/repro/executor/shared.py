@@ -20,6 +20,7 @@ from ..events.event import Event
 from ..events.stream import EventStream
 from ..queries.workload import Workload
 from ..utils.rates import RateCatalog
+from .churn import ChurnOp, ChurnSchedule
 from .engine import ExecutionReport, StreamingEngine
 from .sharding import ShardedEngine
 
@@ -87,6 +88,13 @@ class SharonExecutor:
         exact reference), ``"numpy"`` (vectorised column commits; requires
         the optional numpy dependency), or ``"auto"`` (numpy when
         available).  Results are bit-identical across backends.
+    churn:
+        Optional :class:`~repro.executor.churn.ChurnSchedule` (or ops to
+        build one from) of timestamped attach/detach operations applied at
+        batch boundaries while :meth:`run` consumes the stream
+        (``docs/churn.md``).  Incompatible with ``shards > 1``: churn
+        recompiles the live workload, which the spawned shard workers cannot
+        observe mid-run.
     """
 
     name = "Sharon"
@@ -106,6 +114,7 @@ class SharonExecutor:
         max_lateness: int | None = None,
         late_policy="raise",
         backend: str = "python",
+        churn: "ChurnSchedule | Iterable[ChurnOp] | None" = None,
     ) -> None:
         if plan is None:
             if rates is None:
@@ -119,8 +128,19 @@ class SharonExecutor:
                 "splitter consumes the stream in timestamp order — reorder "
                 "upstream of the sharded engine instead"
             )
+        if churn is None:
+            churn = ChurnSchedule()
+        elif not isinstance(churn, ChurnSchedule):
+            churn = ChurnSchedule(churn)
+        if churn and shards > 1:
+            raise ValueError(
+                "query churn is not supported with shards > 1: the shard "
+                "workers run fixed workload copies — churn the in-process "
+                "engine, or restart the sharded run with the new workload"
+            )
         self.workload = workload
         self.plan = plan
+        self.churn = churn
         if shards > 1:
             self._engine: "StreamingEngine | ShardedEngine" = ShardedEngine(
                 workload,
@@ -151,6 +171,8 @@ class SharonExecutor:
 
     def run(self, stream: "EventStream | Iterable[Event]") -> ExecutionReport:
         """Evaluate the workload over ``stream`` according to the sharing plan."""
+        if self.churn:
+            return self._engine.run(stream, churn=self.churn)
         return self._engine.run(stream)
 
 

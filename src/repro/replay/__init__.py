@@ -21,6 +21,7 @@ See ``docs/replay.md`` for the determinism contract.
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
+    describe_churn_op,
     load_checkpoint,
     save_checkpoint,
     workload_fingerprint,
@@ -31,6 +32,7 @@ from .trace import ReplayTrace, TraceEntry, canonical_json, first_divergence, st
 __all__ = [
     "Checkpoint",
     "CheckpointError",
+    "describe_churn_op",
     "load_checkpoint",
     "save_checkpoint",
     "workload_fingerprint",

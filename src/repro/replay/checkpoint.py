@@ -38,6 +38,7 @@ __all__ = [
     "CheckpointError",
     "Checkpoint",
     "workload_fingerprint",
+    "describe_churn_op",
     "save_checkpoint",
     "load_checkpoint",
 ]
@@ -85,6 +86,30 @@ def workload_fingerprint(workload: Workload, plan: "SharingPlan | None" = None) 
         ),
     }
     return hashlib.sha256(canonical_json(description).encode("utf-8")).hexdigest()
+
+
+def describe_churn_op(op) -> dict:
+    """Structural, serialisation-stable description of one churn op.
+
+    The replay runner pins ``[describe_churn_op(op) for op in schedule]``
+    into ``engine_config["churn"]``, so :meth:`Checkpoint.validate_against`'s
+    config equality refuses to resume a checkpoint under a different churn
+    script — same mechanism that pins mode/columnar/compaction.  Attach ops
+    describe their full query (via :func:`_query_description`); detach ops
+    carry only the target name; an explicitly pinned plan is described by
+    its candidates.
+    """
+    description: dict = {"op": op.kind, "at": op.at}
+    if op.kind == "attach":
+        description["query"] = _query_description(op.query)
+    else:
+        description["query"] = op.query_name
+    if op.plan is not None:
+        description["plan"] = sorted(
+            [list(candidate.pattern.event_types), list(candidate.query_names)]
+            for candidate in op.plan
+        )
+    return description
 
 
 @dataclass

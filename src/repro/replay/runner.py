@@ -29,11 +29,14 @@ from ..core.plan import SharingPlan
 from ..events.event import Event
 from ..events.log import EventLogReader
 from ..events.stream import EventStream
+from ..executor.churn import ChurnOp, ChurnSchedule
 from ..executor.engine import ExecutionReport, StreamingEngine
 from ..queries.workload import Workload
 from ..utils.rates import RateCatalog
 from .checkpoint import (
     Checkpoint,
+    CheckpointError,
+    describe_churn_op,
     load_checkpoint,
     save_checkpoint,
     workload_fingerprint,
@@ -129,6 +132,15 @@ class ReplayRunner:
         *not* part of the determinism contract: backends are bit-identical by
         construction, so a checkpoint written under one backend restores
         under any other (and the snapshot bytes match).
+    churn:
+        Optional :class:`~repro.executor.churn.ChurnSchedule` (or ops to
+        build one from) of timestamped attach/detach operations
+        (``docs/churn.md``), applied deterministically at batch boundaries
+        exactly as :meth:`StreamingEngine.run` would.  Part of the
+        determinism contract: the full schedule is pinned into
+        ``engine_config`` (so resuming under a different script is refused)
+        and the applied-op history travels in every snapshot (so resume
+        re-applies the checkpoint's churn prefix before restoring state).
 
     Sharded execution is intentionally not supported here: replay targets
     the in-process engine whose state is fully snapshotable; sharded crash
@@ -148,13 +160,19 @@ class ReplayRunner:
         max_lateness: "int | None" = None,
         late_policy="raise",
         backend: str = "python",
+        churn: "ChurnSchedule | Iterable[ChurnOp] | None" = None,
     ) -> None:
         if plan is None:
             plan = (
                 SharonOptimizer(rates).optimize(workload).plan if rates is not None else SharingPlan()
             )
+        if churn is None:
+            churn = ChurnSchedule()
+        elif not isinstance(churn, ChurnSchedule):
+            churn = ChurnSchedule(churn)
         self.workload = workload
         self.plan = plan
+        self.churn = churn
         self.engine = StreamingEngine(
             workload,
             plan=plan,
@@ -177,7 +195,7 @@ class ReplayRunner:
         # The kernel backend is intentionally absent: backends produce
         # bit-identical state, so checkpoints are backend-agnostic and may
         # be restored under either one.
-        return {
+        config = {
             "mode": "panes" if engine.uses_panes else "instances",
             "columnar": engine.columnar,
             "compaction": engine.compaction,
@@ -187,6 +205,11 @@ class ReplayRunner:
             # not the same function object).
             "late_policy": late_policy if isinstance(late_policy, str) else "callback",
         }
+        # Only churned runs record a churn key, so pre-churn checkpoints keep
+        # validating against churn-free runners unchanged.
+        if self.churn:
+            config["churn"] = [describe_churn_op(op) for op in self.churn]
+        return config
 
     # -- source handling ---------------------------------------------------------
     @staticmethod
@@ -199,6 +222,43 @@ class ReplayRunner:
         if skip:
             return islice(iter(source), skip, None)
         return source
+
+    def _reapply_churn_prefix(self, session, checkpoint: Checkpoint) -> int:
+        """Re-apply the checkpoint's applied-churn history on a fresh session.
+
+        Returns the index of the first schedule op still pending.  Every
+        history entry must match the runner's schedule op (kind, effective
+        timestamp, query name) and, once applied, reproduce the recorded
+        history entry byte for byte — including the fingerprint of the
+        recompiled workload+plan — else the checkpoint belongs to a
+        different churn script and resume is refused.
+        """
+        history = (checkpoint.engine_state.get("churn") or {}).get("history", [])
+        ops = self.churn.ops
+        if len(history) > len(ops):
+            raise CheckpointError(
+                f"checkpoint had applied {len(history)} churn ops but this "
+                f"runner's schedule only has {len(ops)}"
+            )
+        for index, entry in enumerate(history):
+            op = ops[index]
+            if (entry.get("op"), entry.get("at"), entry.get("query")) != (
+                op.kind,
+                op.at,
+                op.query_name,
+            ):
+                raise CheckpointError(
+                    f"checkpoint churn history entry #{index} {entry!r} does not "
+                    f"match schedule op {op.kind}@{op.at}:{op.query_name}"
+                )
+            session.apply_churn_op(op)
+            applied = session.churn_history()[-1]
+            if applied != entry:
+                raise CheckpointError(
+                    f"re-applying churn op #{index} produced {applied!r}, but the "
+                    f"checkpoint recorded {entry!r}; the workloads or plans differ"
+                )
+        return len(history)
 
     # -- the run loop -------------------------------------------------------------
     def run(
@@ -250,6 +310,8 @@ class ReplayRunner:
             raise ValueError("checkpoint_every needs a checkpoint_dir")
 
         session = engine.new_session()
+        ops = self.churn.ops
+        op_index = 0
         events_consumed = 0
         if resume_from is not None:
             checkpoint = (
@@ -258,6 +320,11 @@ class ReplayRunner:
                 else load_checkpoint(resume_from)
             )
             checkpoint.validate_against(self.fingerprint, self.engine_config)
+            # Snapshots restore structurally, so the churn prefix the
+            # checkpointed session had applied (recompiled workloads, plan,
+            # emission gates) must be re-applied on the fresh session first;
+            # each re-applied op is verified against the snapshot's history.
+            op_index = self._reapply_churn_prefix(session, checkpoint)
             session.restore_state(checkpoint.engine_state)
             events_consumed = checkpoint.events_consumed
 
@@ -291,8 +358,20 @@ class ReplayRunner:
         origin_timestamp: "int | None" = None
         origin_clock = 0.0
 
+        def apply_due_churn(timestamp: int) -> None:
+            # Fires before each batch is routed, so an op recompiles the
+            # workload in time to route its own trigger batch (matching
+            # StreamingEngine.run's churn hook exactly).
+            nonlocal op_index
+            while op_index < len(ops) and ops[op_index].at <= timestamp:
+                session.apply_churn_op(ops[op_index])
+                op_index += 1
+
         collector.start()
-        for timestamp, batch, groups in engine.routed_batches(stream, collector):
+        routed = engine.routed_batches(
+            stream, collector, before_batch=apply_due_churn if ops else None
+        )
+        for timestamp, batch, groups in routed:
             if sleep_per_unit:
                 if origin_timestamp is None:
                     origin_timestamp = timestamp
@@ -339,6 +418,9 @@ class ReplayRunner:
                 checkpoints.append(path)
                 collector.start()
 
+        while op_index < len(ops):
+            session.apply_churn_op(ops[op_index])
+            op_index += 1
         report = session.finish()
         final_hash = state_hash(session)
         return ReplayReport(

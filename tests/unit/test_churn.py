@@ -1,0 +1,293 @@
+"""Unit tests for live query churn: ops, schedules, scripts, session semantics.
+
+The end-to-end correctness of attach/detach (gates, truncation, state
+migration) is pinned by the churn differential grid and the metamorphic
+property suite; this module covers the surface itself — validation errors,
+bookkeeping, script parsing, and the engine-session API contracts described
+in ``docs/churn.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SharingPlan
+from repro.events import EventStream, SlidingWindow
+from repro.executor import (
+    ASeqExecutor,
+    ChurnOp,
+    ChurnSchedule,
+    ChurnState,
+    ResultSet,
+    SharonExecutor,
+    load_churn_script,
+    parse_churn_script,
+)
+from repro.executor.engine import StreamingEngine
+from repro.queries import Pattern, Query, Workload
+from repro.replay import describe_churn_op
+
+
+WINDOW = SlidingWindow(size=8, slide=4)
+
+
+def make_query(name: str, types=("A", "B")) -> Query:
+    return Query(Pattern(tuple(types)), WINDOW, name=name)
+
+
+def make_engine(names=("q1", "q2"), **kwargs) -> StreamingEngine:
+    workload = Workload([make_query(name) for name in names])
+    return StreamingEngine(workload, plan=SharingPlan(), **kwargs)
+
+
+class TestChurnOp:
+    def test_attach_takes_its_name_from_the_query(self):
+        op = ChurnOp("attach", 5, query=make_query("joiner"))
+        assert op.query_name == "joiner"
+        assert op.at == 5
+
+    def test_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match="unknown churn op kind"):
+            ChurnOp("upgrade", 5, query=make_query("q"))
+
+    def test_rejects_negative_timestamps(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ChurnOp("detach", -1, query_name="q1")
+
+    def test_attach_requires_a_query(self):
+        with pytest.raises(ValueError, match="attach ops need a query"):
+            ChurnOp("attach", 5)
+
+    def test_detach_requires_a_query_name(self):
+        with pytest.raises(ValueError, match="detach ops need a query_name"):
+            ChurnOp("detach", 5)
+
+
+class TestChurnSchedule:
+    def test_sorts_by_timestamp_stably(self):
+        ops = [
+            ChurnOp("detach", 9, query_name="late"),
+            ChurnOp("attach", 3, query=make_query("a")),
+            ChurnOp("detach", 3, query_name="b"),
+        ]
+        schedule = ChurnSchedule(ops)
+        assert [op.query_name for op in schedule] == ["a", "b", "late"]
+        # Same-timestamp ops keep construction order (stable sort).
+        assert [op.kind for op in schedule][:2] == ["attach", "detach"]
+
+    def test_rejects_non_ops(self):
+        with pytest.raises(TypeError, match="ChurnOp instances"):
+            ChurnSchedule([("attach", 3)])
+
+    def test_len_bool_iter(self):
+        empty = ChurnSchedule()
+        assert len(empty) == 0 and not empty
+        schedule = ChurnSchedule([ChurnOp("detach", 1, query_name="q")])
+        assert len(schedule) == 1 and schedule
+        assert [op.at for op in schedule] == [1]
+
+
+class TestChurnState:
+    def test_gates_emission_by_attach_timestamp(self):
+        state = ChurnState(["q1"])
+        state.active.add("joiner")
+        state.attach_timestamps["joiner"] = 8
+        assert state.emits("q1", 0)  # initial queries have no gate
+        assert not state.emits("joiner", 4)
+        assert state.emits("joiner", 8)
+        assert not state.emits("gone", 0)  # inactive names never emit
+
+    def test_export_is_canonical(self):
+        state = ChurnState(["b", "a"])
+        state.attach_timestamps["b"] = 3
+        state.record("attach", 3, "b", "fp")
+        exported = state.export()
+        assert exported["active"] == ["a", "b"]
+        assert exported["attach_timestamps"] == [["b", 3]]
+        assert exported["history"] == [{"op": "attach", "at": 3, "query": "b", "fingerprint": "fp"}]
+
+
+class TestChurnScripts:
+    VALID = """
+    [
+      {"op": "attach", "at": 12, "name": "spikes",
+       "query": "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10 SLIDE 5"},
+      {"op": "detach", "at": 20, "name": "q1"}
+    ]
+    """
+
+    def test_parses_attach_and_detach(self):
+        schedule = parse_churn_script(self.VALID)
+        assert len(schedule) == 2
+        attach, detach = schedule
+        assert attach.kind == "attach" and attach.query_name == "spikes"
+        assert attach.query.window == SlidingWindow(size=10, slide=5)
+        assert detach.kind == "detach" and detach.query_name == "q1" and detach.at == 20
+
+    def test_load_reads_a_file(self, tmp_path):
+        path = tmp_path / "churn.json"
+        path.write_text(self.VALID, encoding="utf-8")
+        assert len(load_churn_script(path)) == 2
+
+    @pytest.mark.parametrize(
+        ("text", "match"),
+        [
+            ("{not json", "not valid JSON"),
+            ('{"op": "attach"}', "JSON array"),
+            ('[42]', "JSON object"),
+            ('[{"op": "detach", "name": "q", "at": "soon"}]', "integer 'at'"),
+            ('[{"op": "detach", "name": "q", "at": true}]', "integer 'at'"),
+            ('[{"op": "detach", "at": 3}]', "non-empty 'name'"),
+            ('[{"op": "attach", "at": 3, "name": "q"}]', "needs a 'query'"),
+            ('[{"op": "migrate", "at": 3, "name": "q"}]', "unknown 'op'"),
+        ],
+    )
+    def test_rejects_malformed_scripts(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_churn_script(text)
+
+
+class TestSetWorkload:
+    def test_recompiles_and_returns_the_new_compilation(self):
+        engine = make_engine(("q1", "q2"))
+        grown = Workload([make_query("q1"), make_query("q2"), make_query("q3", ("C", "D"))])
+        compiled = engine.set_workload(grown)
+        assert compiled is engine.compiled
+        assert engine.workload is grown
+        assert "q3" in engine.workload
+
+    def test_refuses_a_window_geometry_change(self):
+        engine = make_engine(("q1", "q2"))
+        wider = SlidingWindow(size=16, slide=4)
+        swapped = Workload(
+            [Query(Pattern(("A", "B")), wider, name=name) for name in ("q1", "q2")]
+        )
+        with pytest.raises(ValueError, match="window geometry"):
+            engine.set_workload(swapped)
+
+    def test_refuses_a_non_uniform_workload(self):
+        engine = make_engine(("q1", "q2"))
+        other = Query(Pattern(("A", "B")), SlidingWindow(size=16, slide=4), name="q3")
+        with pytest.raises(ValueError, match="uniform workload"):
+            engine.set_workload(Workload([make_query("q1"), other]))
+
+
+@pytest.mark.parametrize("panes", [False, True], ids=["instances", "panes"])
+class TestSessionChurnApi:
+    """Contracts shared by both session classes (per-instance and pane mode)."""
+
+    def _session(self, panes, names=("q1", "q2")):
+        engine = make_engine(names, panes=panes)
+        return engine, engine.new_session()
+
+    def test_attach_records_gate_and_history(self, panes):
+        engine, session = self._session(panes)
+        effective = session.attach_query(make_query("joiner", ("C", "D")))
+        assert effective == 0  # nothing processed yet: every batch is t >= 0
+        assert session.attach_timestamps == {"joiner": 0}
+        (entry,) = session.churn_history()
+        assert (entry["op"], entry["at"], entry["query"]) == ("attach", 0, "joiner")
+        assert entry["fingerprint"]
+        assert "joiner" in engine.workload
+
+    def test_attach_rejects_duplicate_names(self, panes):
+        _engine, session = self._session(panes)
+        with pytest.raises(ValueError, match="duplicate query name"):
+            session.attach_query(make_query("q1", ("C", "D")))
+
+    def test_attach_rejects_a_different_window(self, panes):
+        _engine, session = self._session(panes)
+        other = Query(Pattern(("C", "D")), SlidingWindow(size=16, slide=4), name="joiner")
+        with pytest.raises(ValueError, match="uniform workload"):
+            session.attach_query(other)
+
+    def test_churn_applies_between_batches_only(self, panes):
+        engine, session = self._session(panes)
+        stream = EventStream.from_tuples([("A", 0), ("B", 5)])
+        for timestamp, _batch, groups in engine.routed_batches(stream, session.collector):
+            session.step(timestamp, groups)
+        with pytest.raises(ValueError, match="between batches"):
+            session.attach_query(make_query("joiner", ("C", "D")), at=5)
+        with pytest.raises(ValueError, match="between batches"):
+            session.detach_query("q1", at=3)
+        # The next free timestamp is fine.
+        assert session.attach_query(make_query("joiner", ("C", "D")), at=6) == 6
+
+    def test_detach_rejects_unknown_queries(self, panes):
+        _engine, session = self._session(panes)
+        with pytest.raises(ValueError, match="unknown query"):
+            session.detach_query("nobody")
+
+    def test_detach_rejects_emptying_the_workload(self, panes):
+        _engine, session = self._session(panes, names=("only",))
+        with pytest.raises(ValueError, match="last active query"):
+            session.detach_query("only")
+
+    def test_detach_clears_gate_and_appends_history(self, panes):
+        engine, session = self._session(panes)
+        session.attach_query(make_query("joiner", ("C", "D")))
+        session.detach_query("joiner")
+        assert session.attach_timestamps == {}
+        kinds = [entry["op"] for entry in session.churn_history()]
+        assert kinds == ["attach", "detach"]
+        assert "joiner" not in engine.workload
+
+    def test_apply_churn_op_dispatches(self, panes):
+        _engine, session = self._session(panes)
+        assert session.apply_churn_op(ChurnOp("attach", 4, query=make_query("j", ("C", "D")))) == 4
+        assert session.apply_churn_op(ChurnOp("detach", 6, query_name="j")) == 6
+
+    def test_restore_refuses_a_snapshot_with_different_churn(self, panes):
+        engine, session = self._session(panes)
+        session.attach_query(make_query("joiner", ("C", "D")))
+        snapshot = session.export_state()
+        fresh = make_engine(panes=panes).new_session()
+        with pytest.raises(ValueError, match="churn history"):
+            fresh.restore_state(snapshot)
+
+
+class TestExecutorChurnWiring:
+    def _scenario(self):
+        workload = Workload([make_query("base")])
+        joiner = make_query("joiner", ("C", "D"))
+        schedule = ChurnSchedule([ChurnOp("attach", 4, query=joiner)])
+        stream = EventStream.from_tuples(
+            [("C", 1), ("D", 2), ("A", 3), ("C", 4), ("D", 5), ("B", 6), ("C", 8), ("D", 9)]
+        )
+        return workload, schedule, stream
+
+    @pytest.mark.parametrize("executor_class", [SharonExecutor, ASeqExecutor])
+    def test_churn_is_refused_with_sharding(self, executor_class):
+        workload, schedule, _stream = self._scenario()
+        kwargs = {"plan": SharingPlan()} if executor_class is SharonExecutor else {}
+        with pytest.raises(ValueError, match="shards"):
+            executor_class(workload, shards=2, churn=schedule, **kwargs)
+
+    @pytest.mark.parametrize("executor_class", [SharonExecutor, ASeqExecutor])
+    def test_attached_query_emits_only_gated_windows(self, executor_class):
+        workload, schedule, stream = self._scenario()
+        kwargs = {"plan": SharingPlan()} if executor_class is SharonExecutor else {}
+        results = executor_class(workload, churn=schedule, **kwargs).run(stream).results
+        joiner = ResultSet(r for r in results if r.query_name == "joiner").nonzero()
+        assert joiner, "the attached query never emitted"
+        assert all(r.window.start >= 4 for r in joiner)
+        # The pre-attach (C, D) pair at t=1..2 lives only in windows starting
+        # before the gate; the window at the gate counts the post-attach pairs.
+        gated = SharonExecutor(Workload([make_query("joiner", ("C", "D"))]), plan=SharingPlan())
+        reference = gated.run(stream).results
+        expected = ResultSet(r for r in reference if r.window.start >= 4)
+        assert ResultSet(r for r in results if r.query_name == "joiner").matches(expected)
+
+
+class TestDescribeChurnOp:
+    def test_attach_descriptions_carry_the_query_structure(self):
+        op = ChurnOp("attach", 7, query=make_query("j", ("C", "D")))
+        description = describe_churn_op(op)
+        assert description["op"] == "attach"
+        assert description["at"] == 7
+        assert description["query"]["name"] == "j"
+        assert description["query"]["pattern"] == ["C", "D"]
+
+    def test_detach_descriptions_carry_only_the_name(self):
+        description = describe_churn_op(ChurnOp("detach", 9, query_name="q1"))
+        assert description == {"op": "detach", "at": 9, "query": "q1"}

@@ -303,6 +303,47 @@ class TestReplayCommands:
                 ]
             )
 
+    def test_replay_applies_a_churn_script(self, tmp_path, capsys):
+        log_path = tmp_path / "events.jsonl"
+        main(["record", "--duration", "60", "--rate", "4", "--output", str(log_path)])
+        capsys.readouterr()
+
+        script = tmp_path / "churn.json"
+        script.write_text(
+            '[{"op": "attach", "at": 10, "name": "joiner",'
+            ' "query": "RETURN COUNT(*) PATTERN SEQ(MainSt, StateSt)'
+            ' WHERE [vehicle] WITHIN 600 SLIDE 60"},'
+            ' {"op": "detach", "at": 30, "name": "q1"}]',
+            encoding="utf-8",
+        )
+        exit_code = main(
+            [
+                "replay",
+                "--log", str(log_path),
+                "--workload", "traffic",
+                "--churn-script", str(script),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert f"applied churn script {script} (2 ops)" in captured.out
+        assert "state hash:" in captured.out
+
+    def test_replay_rejects_a_malformed_churn_script(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        main(["record", "--duration", "60", "--rate", "4", "--output", str(log_path)])
+        script = tmp_path / "churn.json"
+        script.write_text('[{"op": "migrate", "at": 3, "name": "q1"}]', encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown 'op'"):
+            main(
+                [
+                    "replay",
+                    "--log", str(log_path),
+                    "--workload", "traffic",
+                    "--churn-script", str(script),
+                ]
+            )
+
     def test_run_record_and_checkpoint_every(self, tmp_path, capsys):
         log_path = tmp_path / "run.jsonl"
         checkpoint_dir = tmp_path / "cks"

@@ -3,10 +3,11 @@
 The engine grew to four layers (routing → panes/scopes → shared/private
 aggregation → sharding) with roughly ten user-facing toggles; the docs site
 under ``docs/`` explains the architecture, but the first line of defence is
-the API itself.  This test walks every module of ``repro.executor`` and
-``repro.events`` and asserts that each public class, function, method,
-property, classmethod, and staticmethod carries a docstring, so an
-undocumented addition fails CI instead of silently eroding the surface.
+the API itself.  This test walks every module of ``repro.executor``,
+``repro.events``, and ``repro.replay`` and asserts that each public class,
+function, method, property, classmethod, and staticmethod carries a
+docstring, so an undocumented addition fails CI instead of silently eroding
+the surface.
 """
 
 from __future__ import annotations
@@ -19,9 +20,15 @@ import pytest
 
 import repro.events
 import repro.executor
+import repro.replay
 
-#: The packages whose whole public surface must be documented.
-AUDITED_PACKAGES = (repro.executor, repro.events)
+#: The packages whose whole public surface must be documented, with the
+#: minimum symbol count the walker must see (guards against silent no-ops).
+AUDITED_PACKAGES = (
+    (repro.executor, 40),
+    (repro.events, 40),
+    (repro.replay, 20),
+)
 
 
 def _documented(obj) -> bool:
@@ -66,11 +73,13 @@ def public_symbols(package) -> "list[tuple[str, object]]":
     return symbols
 
 
-@pytest.mark.parametrize("package", AUDITED_PACKAGES, ids=lambda p: p.__name__)
-def test_no_public_symbol_is_docstring_less(package):
+@pytest.mark.parametrize(
+    ("package", "floor"), AUDITED_PACKAGES, ids=lambda p: getattr(p, "__name__", p)
+)
+def test_no_public_symbol_is_docstring_less(package, floor):
     symbols = public_symbols(package)
     # The walk must actually see the API (guards against a silent no-op).
-    assert len(symbols) > 40, f"suspiciously few symbols audited in {package.__name__}"
+    assert len(symbols) > floor, f"suspiciously few symbols audited in {package.__name__}"
     missing = sorted(name for name, obj in symbols if not _documented(obj))
     assert not missing, (
         f"{len(missing)} public symbols in {package.__name__} lack docstrings:\n  "
@@ -100,3 +109,17 @@ def test_audit_covers_the_kernel_surface():
     assert "repro.executor.kernels.NumpyCountColumns.extend_commit" in names
     assert "repro.executor.kernels.NumpyStateColumns.merge_cohorts" in names
     assert "repro.executor.kernels.NumpyPaneCountMatrix.fold" in names
+
+
+def test_audit_covers_the_churn_surface():
+    """The walker must include the live-churn layer (audit self-check)."""
+    executor_names = {name for name, _obj in public_symbols(repro.executor)}
+    assert "repro.executor.churn.ChurnOp" in executor_names
+    assert "repro.executor.churn.ChurnSchedule" in executor_names
+    assert "repro.executor.churn.ChurnState.emits" in executor_names
+    assert "repro.executor.churn.parse_churn_script" in executor_names
+    assert "repro.executor.engine.EngineSession.attach_query" in executor_names
+    assert "repro.executor.engine.PaneEngineSession.detach_query" in executor_names
+    replay_names = {name for name, _obj in public_symbols(repro.replay)}
+    assert "repro.replay.checkpoint.describe_churn_op" in replay_names
+    assert "repro.replay.runner.ReplayRunner.run" in replay_names

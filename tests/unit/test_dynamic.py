@@ -32,6 +32,31 @@ class TestRateMonitor:
         monitor.observe_all(Event("A", t) for t in range(20))
         assert monitor.observed_time_units <= 5 + 1
 
+    def test_single_batch_mixing_fresh_and_stale_stays_within_horizon(self):
+        """Stale events inside one ``observe_all`` batch must not widen the span.
+
+        Eviction only runs when the latest timestamp advances, so a batch
+        that first moves the monitor forward and then replays timestamps at
+        or before ``latest - horizon`` used to re-admit the stale buckets:
+        ``observed_time_units`` exceeded the horizon and the reported rates
+        were diluted by the widened span until the next advance.
+        """
+        monitor = RateMonitor(horizon=5)
+        batch = [Event("A", 100)] + [Event("A", t) for t in range(0, 95)]
+        monitor.observe_all(batch)
+        assert monitor.observed_time_units <= 5 + 1
+        assert monitor.current_rates().rate("A") == pytest.approx(1.0)
+
+    def test_stale_events_are_ignored_but_in_horizon_stragglers_count(self):
+        monitor = RateMonitor(horizon=5)
+        monitor.observe(Event("A", 10))
+        monitor.observe(Event("B", 7))  # inside the horizon: counted
+        monitor.observe(Event("B", 5))  # at latest - horizon: ignored
+        monitor.observe(Event("B", 2))  # far stale: ignored
+        rates = monitor.current_rates()
+        assert monitor.observed_time_units == 2
+        assert rates.rate("B") == pytest.approx(1 / 2)
+
     def test_drift_detection(self):
         monitor = RateMonitor(horizon=10, drift_threshold=0.5)
         monitor.observe_all(Event("A", t) for t in range(10))
